@@ -1,0 +1,93 @@
+"""Benchmark regenerating Fig. 9 (experiments E7 and E8).
+
+The full paper figure sweeps 20–40 tps in steps of 2 for three techniques on
+the Table 4 configuration; that takes several minutes of wall-clock time, so
+the benchmark uses a reduced grid (five loads) and a shorter measured window.
+The *shape* checks mirror the claims of the paper's Sect. 6:
+
+* group-safe replication outperforms both group-1-safe and lazy replication
+  at low and moderate load;
+* group-1-safe replication degrades fastest as the load grows;
+* towards the top of the 20–40 tps window the group-safe curve turns upward
+  and loses its advantage over lazy replication (the paper puts the
+  crossover at 38 tps);
+* the group-safe abort rate stays small (the paper reports a constant rate
+  slightly below 7 %).
+
+``examples/reproduce_figure9.py`` runs the full-resolution sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (crossover_load, curves, figure9_sweep,
+                               render_figure9)
+
+from conftest import write_report
+
+#: Reduced sweep used by the benchmark (full grid in examples/).
+BENCH_LOADS = (20.0, 26.0, 32.0, 38.0, 40.0)
+BENCH_DURATION_MS = 12_000.0
+BENCH_WARMUP_MS = 3_000.0
+
+
+@pytest.fixture(scope="module")
+def sweep_points():
+    return figure9_sweep(loads=BENCH_LOADS,
+                         techniques=("group-safe", "group-1-safe", "1-safe"),
+                         duration_ms=BENCH_DURATION_MS,
+                         warmup_ms=BENCH_WARMUP_MS, seed=1)
+
+
+def test_figure9_sweep(benchmark, sweep_points):
+    """Time one load point and report the whole reduced figure."""
+    from repro.experiments import run_load_point
+
+    benchmark.pedantic(
+        run_load_point, args=("group-safe", 26.0),
+        kwargs=dict(duration_ms=6_000.0, warmup_ms=1_500.0, seed=2),
+        rounds=1, iterations=1)
+
+    series = curves(sweep_points)
+    write_report("figure9_response_time_vs_load", render_figure9(sweep_points))
+
+    group_safe = {p.offered_load_tps: p for p in series["group-safe"]}
+    group_one = {p.offered_load_tps: p for p in series["group-1-safe"]}
+    lazy = {p.offered_load_tps: p for p in series["1-safe"]}
+
+    # Low / moderate load: group-safe beats lazy, which beats group-1-safe
+    # (the paper's ordering at the left of Fig. 9).
+    for load in (20.0, 26.0, 32.0):
+        assert group_safe[load].mean_response_time_ms \
+            < lazy[load].mean_response_time_ms
+        assert group_safe[load].mean_response_time_ms \
+            < group_one[load].mean_response_time_ms
+
+    # Group-1-safe scales poorly: by the top of the window it is the worst
+    # technique by a wide margin.
+    assert group_one[40.0].mean_response_time_ms \
+        > 2.0 * lazy[40.0].mean_response_time_ms
+    assert group_one[40.0].mean_response_time_ms \
+        > group_one[20.0].mean_response_time_ms * 3.0
+
+    # Group-safe loses its advantage over lazy replication near the top of
+    # the load range (paper: crossover at 38 tps).
+    crossover = crossover_load(sweep_points, "group-safe", "1-safe")
+    assert crossover is not None and crossover >= 34.0
+
+
+def test_figure9_abort_rate(benchmark, sweep_points):
+    """Sect. 6: the group-safe abort rate stays small across the sweep."""
+    series = benchmark(curves, sweep_points)
+    group_safe_rates = [point.abort_rate for point in series["group-safe"]]
+    assert max(group_safe_rates) < 0.10          # paper: slightly below 7 %
+    moderate = [point.abort_rate for point in series["group-safe"]
+                if point.offered_load_tps <= 32.0]
+    assert max(moderate) - min(moderate) < 0.05  # roughly constant
+    lines = ["group-safe abort rate per offered load:"]
+    for point in series["group-safe"]:
+        lines.append(f"  {point.offered_load_tps:>4g} tps : "
+                     f"{point.abort_rate:6.2%}")
+    lines.append("paper reports: constant, slightly below 7 %")
+    write_report("figure9_abort_rate", "\n".join(lines))

@@ -1,0 +1,81 @@
+"""Benchmarks regenerating the paper's Tables 1–4 (experiments E3–E6).
+
+The tables are logical derivations (Tables 1–3) and a configuration listing
+(Table 4); the benchmark times their generation and — more importantly —
+asserts cell-by-cell equality with the published tables and writes the
+rendered tables to ``benchmark_reports/``.
+"""
+
+from __future__ import annotations
+
+from repro.core import (DeliveredOn, LoggedOn, SafetyLevel,
+                        crash_tolerance_table, group_safety_comparison_table,
+                        render_loss_table, render_safety_matrix, safety_matrix)
+from repro.experiments import format_mapping
+from repro.workload import SimulationParameters
+
+from conftest import write_report
+
+
+def test_table1_safety_matrix(benchmark):
+    """Table 1: the (delivered × logged) safety matrix."""
+    matrix = benchmark(safety_matrix)
+    assert matrix[(DeliveredOn.ONE, LoggedOn.NONE)] is SafetyLevel.ZERO_SAFE
+    assert matrix[(DeliveredOn.ONE, LoggedOn.ONE)] is SafetyLevel.ONE_SAFE
+    assert matrix[(DeliveredOn.ONE, LoggedOn.ALL)] is None
+    assert matrix[(DeliveredOn.ALL, LoggedOn.NONE)] is SafetyLevel.GROUP_SAFE
+    assert matrix[(DeliveredOn.ALL, LoggedOn.ONE)] is SafetyLevel.GROUP_ONE_SAFE
+    assert matrix[(DeliveredOn.ALL, LoggedOn.ALL)] is SafetyLevel.TWO_SAFE
+    write_report("table1_safety_matrix", render_safety_matrix())
+
+
+def test_table2_crash_tolerance(benchmark):
+    """Table 2: safety property vs. number of tolerated crashes."""
+    rows = benchmark(crash_tolerance_table, 9)
+    by_label = {row.tolerated_crashes: set(row.levels) for row in rows}
+    assert by_label["0 crashes"] == {SafetyLevel.ZERO_SAFE, SafetyLevel.ONE_SAFE}
+    assert by_label["less than 9 crashes"] == {SafetyLevel.GROUP_SAFE,
+                                               SafetyLevel.GROUP_ONE_SAFE}
+    assert by_label["9 crashes"] == {SafetyLevel.TWO_SAFE}
+    rendering = "\n".join(
+        f"{row.tolerated_crashes:>22} : "
+        + ", ".join(level.value for level in row.levels)
+        for row in rows)
+    write_report("table2_crash_tolerance", rendering)
+
+
+def test_table3_loss_conditions(benchmark):
+    """Table 3: group-safety vs group-1-safety under group/delegate failures."""
+    cells = benchmark(group_safety_comparison_table)
+    expectation = {
+        (SafetyLevel.GROUP_SAFE, False, False): False,
+        (SafetyLevel.GROUP_SAFE, True, False): True,
+        (SafetyLevel.GROUP_SAFE, True, True): True,
+        (SafetyLevel.GROUP_ONE_SAFE, False, False): False,
+        (SafetyLevel.GROUP_ONE_SAFE, True, False): False,
+        (SafetyLevel.GROUP_ONE_SAFE, True, True): True,
+    }
+    observed = {(cell.level, cell.group_fails, cell.delegate_crashes):
+                cell.possible_loss for cell in cells}
+    assert observed == expectation
+    write_report("table3_loss_conditions", render_loss_table())
+
+
+def test_table4_simulator_parameters(benchmark):
+    """Table 4: the simulator parameter set."""
+    table = benchmark(lambda: SimulationParameters.paper().as_table())
+    assert table["Number of items in the database"] == 10_000
+    assert table["Number of Servers"] == 9
+    assert table["Number of Clients per Server"] == 4
+    assert table["Disks per Server"] == 2
+    assert table["CPUs per Server"] == 2
+    assert table["Transaction Length"] == "10 - 20 Operations"
+    assert table["Probability that an operation is a write"] == "50%"
+    assert table["Buffer hit ratio"] == "20%"
+    assert table["Time for a read"] == "4 - 12 ms"
+    assert table["Time for a write"] == "4 - 12 ms"
+    assert table["CPU Time used for an I/O operation"] == "0.4 ms"
+    assert table["Time for a message or a broadcast on the Network"] == "0.07 ms"
+    assert table["CPU time for a network operation"] == "0.07 ms"
+    write_report("table4_parameters",
+                 format_mapping(table, title="Table 4 — simulator parameters"))

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Reproduce Fig. 9: response time vs. load for the three techniques.
+
+By default a reduced grid is swept so the example finishes in a couple of
+minutes; pass ``--full`` for the paper's exact grid (20–40 tps in steps of 2,
+30 s of simulated time per point), or ``--quick`` for a 3-point smoke run.
+
+Run it with::
+
+    python examples/reproduce_figure9.py [--quick | --full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import (FIGURE9_LOADS, crossover_load, curves,
+                               figure9_sweep, render_figure9)
+
+PROFILES = {
+    "quick": dict(loads=(20.0, 30.0, 40.0), duration_ms=8_000.0,
+                  warmup_ms=2_000.0),
+    "default": dict(loads=(20.0, 24.0, 28.0, 32.0, 36.0, 38.0, 40.0),
+                    duration_ms=12_000.0, warmup_ms=3_000.0),
+    "full": dict(loads=tuple(float(load) for load in FIGURE9_LOADS),
+                 duration_ms=30_000.0, warmup_ms=5_000.0),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="3 load points, short measurement window")
+    parser.add_argument("--full", action="store_true",
+                        help="the paper's full 20-40 tps grid")
+    parser.add_argument("--seed", type=int, default=1)
+    arguments = parser.parse_args()
+    profile = PROFILES["full" if arguments.full else
+                       "quick" if arguments.quick else "default"]
+
+    print("Reproducing Fig. 9 (response time vs. load, Table 4 configuration)")
+    print(f"  loads      : {', '.join(f'{load:g}' for load in profile['loads'])} tps")
+    print(f"  measurement: {profile['duration_ms'] / 1000:.0f} s simulated per "
+          f"point ({profile['warmup_ms'] / 1000:.0f} s warm-up)")
+    print()
+
+    started = time.time()
+    points = figure9_sweep(seed=arguments.seed, **profile)
+    elapsed = time.time() - started
+
+    print(render_figure9(points))
+    print()
+    crossover = crossover_load(points, "group-safe", "1-safe")
+    if crossover is None:
+        print("group-safe outperformed lazy replication over the whole sweep")
+    else:
+        print(f"group-safe loses its advantage over lazy replication at "
+              f"~{crossover:g} tps (paper: 38 tps)")
+    series = curves(points)
+    worst = max(series["group-1-safe"],
+                key=lambda point: point.mean_response_time_ms)
+    print(f"group-1-safe degrades fastest (up to "
+          f"{worst.mean_response_time_ms:.0f} ms at {worst.offered_load_tps:g} tps)")
+    print(f"\nwall-clock time: {elapsed:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Section 7 analysis: lazy vs group-safe replication as the group grows.
+
+Two views of the paper's closing argument:
+
+* the analytic probability of an ACID violation per epoch — growing with the
+  number of servers for lazy replication (more concurrent conflicting
+  updates), shrinking for group-safe replication (a larger group is less
+  likely to lose its quorum);
+* a simulated demonstration of the mechanism: deliberately conflicting
+  updates submitted on two servers at once are silently accepted by lazy
+  replication and arbitrated by certification under group-safe replication.
+
+Run it with::
+
+    python examples/scaling_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.core import acid_violation_probability
+from repro.experiments import (analytic_scaling, conflicting_updates_run,
+                               render_scaling)
+
+
+def main() -> None:
+    print("Sect. 7 — probability of violating the ACID properties per epoch")
+    print("(per-server unavailability 5 %, 30 tps system load, Table 4 workload)\n")
+    points = analytic_scaling(server_counts=(3, 5, 7, 9, 11, 13, 15))
+    print(render_scaling(points))
+
+    print("\nSensitivity to the per-server unavailability (9 servers):")
+    for downtime in (0.01, 0.05, 0.10, 0.20):
+        group = acid_violation_probability("group-safe", 9,
+                                           server_down_probability=downtime)
+        lazy = acid_violation_probability("1-safe", 9,
+                                          server_down_probability=downtime)
+        print(f"  p(down)={downtime:4.0%}:  group-safe {group:8.4%}   "
+              f"lazy {lazy:8.4%}")
+
+    print("\nSimulated mechanism behind the lazy curve "
+          "(8 conflicting update pairs):")
+    for technique in ("1-safe", "group-safe"):
+        outcome = conflicting_updates_run(technique, conflicts=8, seed=5)
+        print(f"  {technique:>10}: committed {outcome.committed}/"
+              f"{outcome.submitted}, aborted {outcome.aborted}, "
+              f"divergent items after settling: {len(outcome.divergent_items)}")
+    print("\nLazy replication accepted every conflicting update without telling")
+    print("any client; the database state machine aborted one of each pair and")
+    print("kept all copies identical — the group pays with aborts, never with")
+    print("silent inconsistency.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,169 @@
+"""Execution audit: which safety guarantees did a run actually provide?
+
+The audit has two halves:
+
+* :func:`classify_results` looks at every client notification a run produced
+  and classifies the guarantee that held at that moment (using the flags the
+  replica servers record on each
+  :class:`~repro.replication.results.TransactionResult`); the outcome is the
+  *claimed* safety level of the run.
+* :class:`SafetyAudit` confronts that claim with what actually happened:
+  after the failure pattern of a scenario, were any confirmed transactions
+  lost?  Was the replicated state mutually consistent?  The scenario
+  experiments of ``repro.experiments.scenarios`` are thin wrappers around
+  this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from ..db.serializability import (CommittedTransaction,
+                                  check_one_copy_serializability)
+from .durability import TransactionFate, transaction_fate
+from .safety import SafetyLevel, classify_notification
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..replication.cluster import ReplicatedDatabaseCluster
+    from ..replication.results import TransactionResult
+
+
+def classify_result(result: "TransactionResult") -> SafetyLevel:
+    """Safety level that held when this particular client was notified."""
+    return classify_notification(delivered_to_group=result.delivered_to_group,
+                                 logged_on_delegate=result.logged_on_delegate,
+                                 logged_on_all=result.logged_on_all)
+
+
+def classify_results(results: Sequence["TransactionResult"]
+                     ) -> Dict[SafetyLevel, int]:
+    """Histogram of notification-time guarantees over a set of results."""
+    histogram: Dict[SafetyLevel, int] = {}
+    for result in results:
+        if not result.committed:
+            continue
+        level = classify_result(result)
+        histogram[level] = histogram.get(level, 0) + 1
+    return histogram
+
+
+def weakest_guarantee(results: Sequence["TransactionResult"]
+                      ) -> Optional[SafetyLevel]:
+    """The weakest notification-time guarantee observed (None if no commits)."""
+    levels = [classify_result(result) for result in results if result.committed]
+    if not levels:
+        return None
+    return min(levels, key=lambda level: level.rank)
+
+
+@dataclass
+class AuditReport:
+    """Outcome of a full safety audit of one scenario run."""
+
+    technique: str
+    confirmed_transactions: int
+    lost_transactions: List[str] = field(default_factory=list)
+    fates: Dict[str, TransactionFate] = field(default_factory=dict)
+    guarantee_histogram: Dict[SafetyLevel, int] = field(default_factory=dict)
+    divergent_items: List[str] = field(default_factory=list)
+    serializable: bool = True
+
+    @property
+    def transaction_lost(self) -> bool:
+        """True if at least one confirmed transaction was lost."""
+        return bool(self.lost_transactions)
+
+    @property
+    def consistent(self) -> bool:
+        """True if all up servers agree on the committed values."""
+        return not self.divergent_items
+
+
+class SafetyAudit:
+    """Confronts a cluster's state with the confirmations it handed out."""
+
+    def __init__(self, cluster: "ReplicatedDatabaseCluster") -> None:
+        self.cluster = cluster
+
+    # -- individual checks ------------------------------------------------------------
+    def lost_confirmed_transactions(
+            self, results: Sequence["TransactionResult"]
+    ) -> Dict[str, TransactionFate]:
+        """Fate of every confirmed transaction; only lost ones are returned."""
+        lost: Dict[str, TransactionFate] = {}
+        for result in results:
+            if not result.committed:
+                continue
+            fate = transaction_fate(self.cluster, result.txn_id,
+                                    confirmed_to_client=True)
+            if fate.is_lost:
+                lost[result.txn_id] = fate
+        return lost
+
+    def divergent_items(self, servers: Optional[Sequence[str]] = None
+                        ) -> List[str]:
+        """Item keys on which up servers currently disagree.
+
+        Lazy replication may diverge even without failures (Sect. 7); the
+        group-based techniques should never diverge while the group holds.
+        Items whose pending updates are still being propagated/processed are
+        *not* excluded — call this only once the run has quiesced.
+        """
+        names = servers if servers is not None else [
+            name for name in self.cluster.server_names()
+            if self.cluster.node(name).is_up]
+        names = list(names)
+        if len(names) < 2:
+            return []
+        reference = self.cluster.database(names[0])
+        divergent: List[str] = []
+        for key in reference.items.keys():
+            values = {repr(self.cluster.database(name).value_of(key))
+                      for name in names}
+            if len(values) > 1:
+                divergent.append(key)
+        return divergent
+
+    def serializability(self, servers: Optional[Sequence[str]] = None) -> bool:
+        """Check one-copy serialisability of the committed history.
+
+        The history is reconstructed from the write-ahead logs (commit order
+        and write sets) of the given servers; read versions are not persisted
+        in the log, so this check targets the write/write part of the
+        serialisation order (the read part is checked live by the
+        certification tests in the test-suite).
+        """
+        names = servers if servers is not None else [
+            name for name in self.cluster.server_names()
+            if self.cluster.node(name).is_up]
+        transactions: List[CommittedTransaction] = []
+        seen = set()
+        for name in names:
+            database = self.cluster.database(name)
+            for record in database.wal.stable_records():
+                if record.record_type.value != "commit":
+                    continue
+                if record.txn_id in seen:
+                    continue
+                seen.add(record.txn_id)
+                transactions.append(CommittedTransaction(
+                    txn_id=record.txn_id,
+                    commit_order=record.commit_order or 0,
+                    read_versions={},
+                    write_keys=tuple(record.payload.keys())))
+        return bool(check_one_copy_serializability(transactions))
+
+    # -- full audit ------------------------------------------------------------------------
+    def report(self, results: Sequence["TransactionResult"]) -> AuditReport:
+        """Run every check and assemble the full report."""
+        lost = self.lost_confirmed_transactions(results)
+        report = AuditReport(
+            technique=self.cluster.technique,
+            confirmed_transactions=sum(1 for r in results if r.committed),
+            lost_transactions=sorted(lost),
+            fates=lost,
+            guarantee_histogram=classify_results(results),
+            divergent_items=self.divergent_items(),
+            serializable=self.serializability())
+        return report

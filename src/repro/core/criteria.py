@@ -1,0 +1,109 @@
+"""The safety criteria as named definitions, and the technique registry.
+
+:class:`SafetyCriterion` captures the *statement* of each criterion as the
+paper gives it (Sect. 2.1 for 1-safe / 2-safe / very safe, Sect. 5.1 for the
+group-based levels), so that documentation, experiment reports and tests can
+quote the definitions from one place.  ``TECHNIQUE_SAFETY`` maps the
+replication techniques implemented in :mod:`repro.replication` to the level
+their client notification provides — the claim the failure-injection
+experiments then try to falsify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from .safety import SafetyLevel
+
+
+@dataclass(frozen=True)
+class SafetyCriterion:
+    """A safety criterion: its level, its statement, and what it relies on."""
+
+    level: SafetyLevel
+    statement: str
+    durability_relies_on: str
+    can_lose_transaction_when: str
+
+
+#: The criteria as stated in the paper.
+CRITERIA: Mapping[SafetyLevel, SafetyCriterion] = {
+    SafetyLevel.ZERO_SAFE: SafetyCriterion(
+        level=SafetyLevel.ZERO_SAFE,
+        statement=(
+            "The client is notified as soon as the transaction is delivered "
+            "on one server; it has not been logged anywhere."),
+        durability_relies_on="nothing",
+        can_lose_transaction_when="the delegate crashes before its writes "
+                                  "reach stable storage"),
+    SafetyLevel.ONE_SAFE: SafetyCriterion(
+        level=SafetyLevel.ONE_SAFE,
+        statement=(
+            "When the client receives the notification of the commit, the "
+            "transaction has been logged and will eventually commit on the "
+            "delegate server."),
+        durability_relies_on="the delegate's stable storage",
+        can_lose_transaction_when="the delegate crashes and the system "
+                                  "accepts conflicting transactions while it "
+                                  "is down"),
+    SafetyLevel.GROUP_SAFE: SafetyCriterion(
+        level=SafetyLevel.GROUP_SAFE,
+        statement=(
+            "When the client receives the notification, the message that "
+            "contains the transaction is guaranteed to be delivered (but not "
+            "necessarily processed) on all available servers."),
+        durability_relies_on="the group of servers",
+        can_lose_transaction_when="the group fails (too many servers crash)"),
+    SafetyLevel.GROUP_ONE_SAFE: SafetyCriterion(
+        level=SafetyLevel.GROUP_ONE_SAFE,
+        statement=(
+            "When the client receives the notification, the message is "
+            "guaranteed to be delivered on all available servers and the "
+            "transaction was logged on the delegate."),
+        durability_relies_on="the group of servers and the delegate's stable "
+                             "storage",
+        can_lose_transaction_when="the group fails and the delegate crashes "
+                                  "(or never recovers)"),
+    SafetyLevel.TWO_SAFE: SafetyCriterion(
+        level=SafetyLevel.TWO_SAFE,
+        statement=(
+            "When the client receives the notification, the transaction is "
+            "guaranteed to have been logged on all available servers, and "
+            "thus will eventually commit on all available servers."),
+        durability_relies_on="stable storage on every available server",
+        can_lose_transaction_when="never (even if all servers crash)"),
+    SafetyLevel.VERY_SAFE: SafetyCriterion(
+        level=SafetyLevel.VERY_SAFE,
+        statement=(
+            "When the client receives the notification, the transaction is "
+            "guaranteed to have been logged on all servers, available or "
+            "not."),
+        durability_relies_on="stable storage on every server",
+        can_lose_transaction_when="never, but a single crash makes the "
+                                  "system unavailable"),
+}
+
+
+#: Mapping from the technique names of ``repro.replication`` to the safety
+#: level their notification provides.
+TECHNIQUE_SAFETY: Dict[str, SafetyLevel] = {
+    "0-safe": SafetyLevel.ZERO_SAFE,
+    "1-safe": SafetyLevel.ONE_SAFE,
+    "group-safe": SafetyLevel.GROUP_SAFE,
+    "group-1-safe": SafetyLevel.GROUP_ONE_SAFE,
+    "2-safe": SafetyLevel.TWO_SAFE,
+}
+
+
+def criterion_for(level: SafetyLevel) -> SafetyCriterion:
+    """Return the criterion definition of ``level``."""
+    return CRITERIA[level]
+
+
+def safety_of_technique(technique: str) -> SafetyLevel:
+    """Return the safety level the named replication technique provides."""
+    try:
+        return TECHNIQUE_SAFETY[technique]
+    except KeyError:
+        raise ValueError(f"unknown replication technique {technique!r}") from None

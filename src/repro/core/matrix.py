@@ -1,0 +1,160 @@
+"""Derivations of the paper's Tables 1, 2 and 3.
+
+These tables are logical consequences of the criterion definitions, so the
+library *derives* them from :mod:`repro.core.safety` rather than hard-coding
+them; the benchmark ``benchmarks/bench_tables.py`` renders the derived tables
+and the tests compare them cell by cell with the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .safety import DeliveredOn, LoggedOn, SafetyLevel, classify
+
+
+# --------------------------------------------------------------------------- Table 1
+def safety_matrix() -> Dict[Tuple[DeliveredOn, LoggedOn], Optional[SafetyLevel]]:
+    """Table 1: safety level for every (delivered, logged) combination.
+
+    The impossible cell (delivered on one replica, logged on all) maps to
+    ``None`` — it is greyed out in the paper.
+    """
+    matrix: Dict[Tuple[DeliveredOn, LoggedOn], Optional[SafetyLevel]] = {}
+    for delivered in DeliveredOn:
+        for logged in LoggedOn:
+            matrix[(delivered, logged)] = classify(delivered, logged)
+    return matrix
+
+
+def render_safety_matrix() -> str:
+    """Human-readable rendering of Table 1 (used by the benchmark report)."""
+    matrix = safety_matrix()
+    corner = "delivered / logged"
+    header = f"{corner:>22} | " + " | ".join(
+        f"{logged.value:^14}" for logged in LoggedOn)
+    lines = [header, "-" * len(header)]
+    for delivered in DeliveredOn:
+        cells = []
+        for logged in LoggedOn:
+            level = matrix[(delivered, logged)]
+            cells.append(f"{(level.value if level else '—'):^14}")
+        lines.append(f"{delivered.value:>22} | " + " | ".join(cells))
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- Table 2
+@dataclass(frozen=True)
+class CrashToleranceRow:
+    """One row of Table 2: a tolerance class and the levels that provide it."""
+
+    tolerated_crashes: str
+    levels: Tuple[SafetyLevel, ...]
+
+
+def crash_tolerance_table(group_size: int) -> List[CrashToleranceRow]:
+    """Table 2: safety property by number of tolerated crashes.
+
+    The rows are derived by evaluating
+    :meth:`~repro.core.safety.SafetyLevel.tolerated_crashes` for every level
+    and grouping the results into the paper's three classes (0 crashes, fewer
+    than *n* crashes, *n* crashes).
+    """
+    by_tolerance: Dict[int, List[SafetyLevel]] = {}
+    levels = (SafetyLevel.ZERO_SAFE, SafetyLevel.ONE_SAFE,
+              SafetyLevel.GROUP_SAFE, SafetyLevel.GROUP_ONE_SAFE,
+              SafetyLevel.TWO_SAFE)
+    for level in levels:
+        tolerance = level.tolerated_crashes(group_size)
+        by_tolerance.setdefault(tolerance, []).append(level)
+
+    rows: List[CrashToleranceRow] = []
+    labels = {0: "0 crashes",
+              group_size - 1: f"less than {group_size} crashes",
+              group_size: f"{group_size} crashes"}
+    for tolerance in sorted(by_tolerance):
+        rows.append(CrashToleranceRow(
+            tolerated_crashes=labels.get(tolerance, f"{tolerance} crashes"),
+            levels=tuple(by_tolerance[tolerance])))
+    return rows
+
+
+# --------------------------------------------------------------------------- Table 3
+@dataclass(frozen=True)
+class LossCondition:
+    """One cell of Table 3: can a confirmed transaction be lost?"""
+
+    level: SafetyLevel
+    group_fails: bool
+    delegate_crashes: bool
+    possible_loss: bool
+
+    @property
+    def label(self) -> str:
+        """The cell text used by the paper ("No Transaction Loss" / "Possible...")."""
+        return ("Possible Transaction Loss" if self.possible_loss
+                else "No Transaction Loss")
+
+
+def loss_condition(level: SafetyLevel, group_fails: bool,
+                   delegate_crashes: bool) -> bool:
+    """Can a confirmed transaction be lost under the given failure pattern?
+
+    The derivation follows the criterion definitions:
+
+    * if the group does not fail, the group holds the transaction's message
+      and neither group-safe nor group-1-safe replication can lose it;
+    * if the group fails, group-safety gives no guarantee at all (the
+      transaction may not be logged anywhere), so loss is possible whether or
+      not the delegate crashed;
+    * group-1-safety additionally guarantees the transaction on the delegate's
+      stable storage, so loss requires the delegate itself to be among the
+      crashed (or to never recover);
+    * 2-safety never loses a confirmed transaction; 1-safety loses one as soon
+      as the delegate crashes; 0-safety may lose one on any delegate crash,
+      group failure or not.
+    """
+    if level is SafetyLevel.TWO_SAFE or level is SafetyLevel.VERY_SAFE:
+        return False
+    if level is SafetyLevel.ZERO_SAFE:
+        return delegate_crashes
+    if level is SafetyLevel.ONE_SAFE:
+        return delegate_crashes
+    if level is SafetyLevel.GROUP_SAFE:
+        return group_fails
+    if level is SafetyLevel.GROUP_ONE_SAFE:
+        return group_fails and delegate_crashes
+    raise ValueError(f"unhandled level {level}")
+
+
+def group_safety_comparison_table() -> List[LossCondition]:
+    """Table 3: group-safe vs group-1-safe under the three failure patterns."""
+    patterns = (
+        (False, False),   # group does not fail
+        (True, False),    # group fails, delegate does not crash
+        (True, True),     # group fails, delegate crashes
+    )
+    cells: List[LossCondition] = []
+    for level in (SafetyLevel.GROUP_SAFE, SafetyLevel.GROUP_ONE_SAFE):
+        for group_fails, delegate_crashes in patterns:
+            cells.append(LossCondition(
+                level=level, group_fails=group_fails,
+                delegate_crashes=delegate_crashes,
+                possible_loss=loss_condition(level, group_fails,
+                                             delegate_crashes)))
+    return cells
+
+
+def render_loss_table() -> str:
+    """Human-readable rendering of Table 3 (used by the benchmark report)."""
+    cells = group_safety_comparison_table()
+    columns = ["Group does not fail", "Group fails / Sd up",
+               "Group fails / Sd crashes"]
+    header = f"{'':>14} | " + " | ".join(f"{column:^26}" for column in columns)
+    lines = [header, "-" * len(header)]
+    for level in (SafetyLevel.GROUP_SAFE, SafetyLevel.GROUP_ONE_SAFE):
+        row_cells = [cell for cell in cells if cell.level is level]
+        lines.append(f"{level.value:>14} | " +
+                     " | ".join(f"{cell.label:^26}" for cell in row_cells))
+    return "\n".join(lines)

@@ -1,0 +1,276 @@
+"""The local database engine hosted on one server.
+
+:class:`LocalDatabase` assembles the pieces of the database component of the
+paper's architecture (Fig. 1 / Sect. 2.2): the logical item store, the lock
+manager, the write-ahead log, the buffer pool and the testable-transaction
+registry, all bound to one :class:`~repro.network.node.Node`.
+
+It deliberately exposes *mechanisms*, not *policy*: whether writes are applied
+synchronously or buffered, whether the commit record is flushed before or
+after the client is answered, and whether conflicts are handled by locking or
+by certification are decisions made by the replication technique built on top
+(``repro.replication``), because those decisions are precisely what
+distinguishes 1-safe, group-safe, group-1-safe and 2-safe replication.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional
+
+from ..network.node import Node
+from ..sim.engine import Simulator
+from .buffer import BufferPool
+from .errors import TransactionAborted, UnknownItemError
+from .items import ItemStore
+from .locks import LockManager, LockMode
+from .operations import Operation, TransactionProgram
+from .recovery import redo_from_log
+from .testable import TestableTransactionRegistry
+from .transaction import Transaction, TransactionStatus, WriteSetMessage
+from .wal import WriteAheadLog
+
+_local_txn_ids = itertools.count(1)
+
+
+class LocalDatabase:
+    """One server's local database component."""
+
+    def __init__(self, sim: Simulator, node: Node, item_count: int = 0,
+                 hit_ratio: float = 0.2,
+                 read_time_low: float = 4.0, read_time_high: float = 12.0,
+                 write_time_low: float = 4.0, write_time_high: float = 12.0,
+                 buffer_max_dirty: Optional[int] = None,
+                 background_write_factor: float = 1.0,
+                 existing_items: Optional[ItemStore] = None) -> None:
+        self.sim = sim
+        self.node = node
+        self.items = existing_items if existing_items is not None \
+            else ItemStore(item_count)
+        self.locks = LockManager(sim, name=f"{node.name}.locks")
+        self.wal = WriteAheadLog(sim, node, write_time_low=write_time_low,
+                                 write_time_high=write_time_high)
+        self.buffer = BufferPool(sim, node, hit_ratio=hit_ratio,
+                                 read_time_low=read_time_low,
+                                 read_time_high=read_time_high,
+                                 write_time_low=write_time_low,
+                                 write_time_high=write_time_high,
+                                 max_dirty=buffer_max_dirty,
+                                 background_write_factor=background_write_factor)
+        self.testable = TestableTransactionRegistry(node)
+        #: Monotonic counter of certified commits (the logical total order
+        #: position at which each commit was installed on this copy).
+        self.commit_counter = 0
+        #: Statistics.
+        self.committed_count = 0
+        self.aborted_count = 0
+        self.certification_aborts = 0
+        node.add_listener(self._on_node_event)
+
+    # ------------------------------------------------------------------ begin
+    def begin(self, program: TransactionProgram, delegate: Optional[str] = None,
+              txn_id: Optional[str] = None) -> Transaction:
+        """Create the runtime transaction for ``program`` on this server."""
+        delegate_name = delegate or self.node.name
+        identifier = txn_id or f"{delegate_name}:{program.program_id}"
+        transaction = Transaction(txn_id=identifier, program=program,
+                                  delegate=delegate_name,
+                                  start_time=self.sim.now)
+        return transaction
+
+    # ------------------------------------------------------------- read / write
+    def read(self, transaction: Transaction, key: str, use_lock: bool = False):
+        """Generator: read ``key``, recording its version in the read set.
+
+        With ``use_lock`` the read takes a shared lock first (2PL, used by the
+        lazy technique); without it the read is an unlocked snapshot read whose
+        version is later validated by certification (database state machine).
+        Returns the item value.
+        """
+        if key not in self.items:
+            raise UnknownItemError(key)
+        if use_lock:
+            grant = self.locks.acquire(transaction.txn_id, key, LockMode.SHARED)
+            yield grant
+        yield from self.buffer.read_item(key)
+        item = self.items.get(key)
+        transaction.record_read(key, item.version)
+        return item.value
+
+    def stage_write(self, transaction: Transaction, key: str,
+                    value: object) -> None:
+        """Record a deferred write (no simulated time, no physical I/O)."""
+        if key not in self.items:
+            raise UnknownItemError(key)
+        transaction.record_write(key, value)
+
+    def write_locked(self, transaction: Transaction, key: str, value: object):
+        """Generator: 2PL write — exclusive lock, buffer write, deferred install.
+
+        Used by the lazy technique, which executes its updates under local
+        locking before commit.  The physical write is charged synchronously;
+        the logical install still happens at commit time so that aborts need
+        no undo.
+        """
+        if key not in self.items:
+            raise UnknownItemError(key)
+        grant = self.locks.acquire(transaction.txn_id, key, LockMode.EXCLUSIVE)
+        yield grant
+        yield from self.buffer.write_item_sync(key)
+        transaction.record_write(key, value)
+
+    def execute_operation(self, transaction: Transaction, operation: Operation,
+                          use_locks: bool = False):
+        """Generator: run one program operation (read or deferred write)."""
+        if operation.is_read:
+            value = yield from self.read(transaction, operation.key,
+                                         use_lock=use_locks)
+            return value
+        if use_locks:
+            yield from self.write_locked(transaction, operation.key,
+                                         operation.value)
+        else:
+            self.stage_write(transaction, operation.key, operation.value)
+        return None
+
+    # ---------------------------------------------------------------- certification
+    def certify(self, payload: WriteSetMessage) -> bool:
+        """Deterministic certification test of the database state machine.
+
+        A transaction passes certification iff none of the items it read has
+        been overwritten (its recorded version is still current).  Because all
+        servers apply committed write sets in the same total order before
+        certifying the next message, the outcome is identical everywhere —
+        this is what makes the technique *non-voting*.
+        """
+        for key, version in payload.read_versions.items():
+            if key not in self.items:
+                return False
+            if self.items.get(key).version != version:
+                return False
+        return True
+
+    def install_writes(self, payload: WriteSetMessage,
+                       commit_order: Optional[int] = None) -> int:
+        """Logically install a certified write set and bump item versions.
+
+        Returns the commit order assigned on this copy.  The physical disk
+        work is charged separately (:meth:`apply_physical_writes`), which is
+        what lets the replication techniques choose between synchronous and
+        asynchronous disk writes without affecting the logical state.
+        """
+        if commit_order is None:
+            self.commit_counter += 1
+            commit_order = self.commit_counter
+        else:
+            self.commit_counter = max(self.commit_counter, commit_order)
+        for key, value in payload.write_values.items():
+            if key not in self.items:
+                self.items.create(key)
+            self.items.get(key).install(value, payload.txn_id, commit_order)
+        return commit_order
+
+    def apply_physical_writes(self, keys: Iterable[str], synchronous: bool):
+        """Generator: charge the disk/CPU cost of writing ``keys``.
+
+        ``synchronous=True`` performs the buffer-pool write inside the caller
+        (in-transaction, group-1-safe / lazy delegate); ``synchronous=False``
+        only marks the items dirty for the write-behind flusher (group-safe).
+        """
+        for key in keys:
+            if synchronous:
+                yield from self.buffer.write_item_sync(key)
+            else:
+                self.buffer.write_item_async(key)
+
+    # ------------------------------------------------------------------ logging
+    def log_commit(self, transaction_or_payload, commit_order: Optional[int],
+                   synchronous: bool):
+        """Generator: append (and optionally flush) the commit record."""
+        txn_id, writes = _id_and_writes(transaction_or_payload)
+        self.wal.append_commit(txn_id, writes, commit_order=commit_order)
+        if synchronous:
+            yield from self.wal.flush()
+
+    def log_abort(self, transaction_or_payload, synchronous: bool = False):
+        """Generator: append (and optionally flush) an abort record."""
+        txn_id, _writes = _id_and_writes(transaction_or_payload)
+        self.wal.append_abort(txn_id)
+        if synchronous:
+            yield from self.wal.flush()
+
+    # ------------------------------------------------------------------ finalisation
+    def finalize_commit(self, transaction: Transaction,
+                        commit_order: Optional[int] = None) -> None:
+        """Mark ``transaction`` committed locally and release its locks."""
+        transaction.commit_order = commit_order
+        transaction.set_status(TransactionStatus.COMMITTED)
+        transaction.decision_time = self.sim.now
+        self.testable.record_commit(transaction.txn_id, commit_order)
+        self.locks.release_all(transaction.txn_id)
+        self.committed_count += 1
+
+    def finalize_abort(self, transaction: Transaction, reason: str) -> None:
+        """Mark ``transaction`` aborted locally and release its locks."""
+        transaction.abort_reason = reason
+        transaction.set_status(TransactionStatus.ABORTED)
+        transaction.decision_time = self.sim.now
+        self.testable.record_abort(transaction.txn_id, reason)
+        self.locks.release_all(transaction.txn_id)
+        self.aborted_count += 1
+        if reason == "certification":
+            self.certification_aborts += 1
+
+    # ------------------------------------------------------------------ recovery
+    def recover(self) -> int:
+        """Rebuild the in-memory state from stable storage after a crash.
+
+        The durable truth is the flushed write-ahead log: the item store is
+        reset to its initial state and every durable commit record is redone
+        in log order.  Returns the number of transactions redone.
+        """
+        redone = redo_from_log(self.items, self.wal.stable_records())
+        self.commit_counter = max(
+            [record.commit_order or 0 for record in self.wal.stable_records()] or [0])
+        return redone
+
+    def logged_transactions(self) -> List[str]:
+        """Transaction ids whose commit record is durable on this server."""
+        return self.wal.committed_transactions()
+
+    # ------------------------------------------------------------------ crash hook
+    def _on_node_event(self, node: Node, event: str) -> None:
+        if event == "crash":
+            self.wal.lose_volatile()
+            self.buffer.lose_volatile()
+            self.locks = LockManager(self.sim, name=f"{node.name}.locks")
+
+    # ------------------------------------------------------------------ queries
+    def value_of(self, key: str) -> object:
+        """Current committed value of ``key`` (logical read, no timing)."""
+        if key not in self.items:
+            raise UnknownItemError(key)
+        return self.items.get(key).value
+
+    def version_of(self, key: str) -> int:
+        """Current committed version of ``key``."""
+        if key not in self.items:
+            raise UnknownItemError(key)
+        return self.items.get(key).version
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"<LocalDatabase {self.node.name} items={len(self.items)} "
+                f"committed={self.committed_count}>")
+
+
+def _id_and_writes(transaction_or_payload) -> tuple:
+    """Accept either a Transaction or a WriteSetMessage and normalise."""
+    if isinstance(transaction_or_payload, Transaction):
+        return (transaction_or_payload.txn_id,
+                dict(transaction_or_payload.write_values))
+    if isinstance(transaction_or_payload, WriteSetMessage):
+        return (transaction_or_payload.txn_id,
+                dict(transaction_or_payload.write_values))
+    raise TypeError(
+        f"expected Transaction or WriteSetMessage, got "
+        f"{type(transaction_or_payload).__name__}")

@@ -1,0 +1,124 @@
+"""Logical database state: items, versions and the item store.
+
+The database of the paper's simulation is a flat collection of 10'000 items
+(Table 4).  Each item carries a *version*, incremented every time a committed
+transaction overwrites it.  Versions serve two purposes:
+
+* the database state machine certification test compares the versions a
+  transaction read against the current versions to detect conflicts with
+  concurrently committed transactions;
+* the serialisability checker and the experiment audits use versions to
+  reconstruct which committed write produced the value that is visible.
+
+The :class:`ItemStore` is purely *logical* (no simulated time is consumed by
+reading or writing it): the time cost of touching an item lives in the buffer
+pool and disk models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class ItemVersion:
+    """A single committed version of an item."""
+
+    value: object
+    version: int
+    writer: Optional[str] = None          # transaction id that wrote it
+    commit_order: int = 0                 # global certification order
+
+
+@dataclass
+class Item:
+    """One logical database item and its committed history."""
+
+    key: str
+    value: object = 0
+    version: int = 0
+    writer: Optional[str] = None
+    commit_order: int = 0
+    history: List[ItemVersion] = field(default_factory=list)
+
+    def install(self, value: object, writer: Optional[str],
+                commit_order: int) -> None:
+        """Install a new committed version of the item.
+
+        Installation follows the Thomas write rule: a write belonging to an
+        *older* commit order than the currently installed one is skipped, so
+        that physically out-of-order application (several apply processes
+        racing on the disks) still converges to the state of the logical
+        total order.
+        """
+        if commit_order < self.commit_order:
+            return
+        self.history.append(ItemVersion(value=self.value, version=self.version,
+                                        writer=self.writer,
+                                        commit_order=self.commit_order))
+        self.value = value
+        self.version += 1
+        self.writer = writer
+        self.commit_order = commit_order
+
+
+class ItemStore:
+    """A named collection of :class:`Item` objects."""
+
+    def __init__(self, item_count: int = 0, prefix: str = "item") -> None:
+        self._items: Dict[str, Item] = {}
+        self.prefix = prefix
+        for index in range(item_count):
+            self.create(f"{prefix}-{index}")
+
+    # -- item management ----------------------------------------------------
+    def create(self, key: str, value: object = 0) -> Item:
+        """Create a new item (version 0) and return it."""
+        if key in self._items:
+            raise ValueError(f"item {key!r} already exists")
+        item = Item(key=key, value=value)
+        self._items[key] = item
+        return item
+
+    def get(self, key: str) -> Item:
+        """Return the item called ``key``; raise ``KeyError`` if unknown."""
+        return self._items[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self._items.values())
+
+    def keys(self) -> List[str]:
+        """All item keys in creation order."""
+        return list(self._items)
+
+    # -- snapshots -----------------------------------------------------------
+    def snapshot(self) -> Dict[str, ItemVersion]:
+        """Return a point-in-time copy of every item's committed state."""
+        return {
+            key: ItemVersion(value=item.value, version=item.version,
+                             writer=item.writer, commit_order=item.commit_order)
+            for key, item in self._items.items()
+        }
+
+    def restore(self, snapshot: Dict[str, ItemVersion]) -> None:
+        """Replace the store's contents with ``snapshot`` (state transfer)."""
+        for key, version in snapshot.items():
+            if key not in self._items:
+                self.create(key)
+            item = self._items[key]
+            item.value = version.value
+            item.version = version.version
+            item.writer = version.writer
+            item.commit_order = version.commit_order
+            item.history = []
+
+    def versions(self) -> Dict[str, int]:
+        """Mapping of item key to current committed version number."""
+        return {key: item.version for key, item in self._items.items()}

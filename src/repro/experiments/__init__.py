@@ -1,0 +1,44 @@
+"""Experiment harnesses reproducing every table and figure of the paper."""
+
+from .failure_matrix import (MatrixEntry, crash_tolerance_summary,
+                             demonstrated_losses, render_matrix,
+                             run_failure_matrix, soundness_violations)
+from .figure9 import (FIGURE9_LOADS, FIGURE9_TECHNIQUES, LoadPoint,
+                      crossover_load, curves, figure9_sweep, render_figure9,
+                      run_load_point)
+from .report import banner, format_mapping, format_table
+from .scaling import (DivergenceOutcome, analytic_scaling,
+                      conflicting_updates_run, render_scaling)
+from .scenarios import (CRASH_PATTERNS, ScenarioOutcome, figure5_scenario,
+                        figure7_scenario, run_crash_scenario,
+                        single_crash_scenario)
+
+__all__ = [
+    "ScenarioOutcome",
+    "CRASH_PATTERNS",
+    "run_crash_scenario",
+    "figure5_scenario",
+    "figure7_scenario",
+    "single_crash_scenario",
+    "MatrixEntry",
+    "run_failure_matrix",
+    "soundness_violations",
+    "demonstrated_losses",
+    "crash_tolerance_summary",
+    "render_matrix",
+    "LoadPoint",
+    "run_load_point",
+    "figure9_sweep",
+    "curves",
+    "crossover_load",
+    "render_figure9",
+    "FIGURE9_LOADS",
+    "FIGURE9_TECHNIQUES",
+    "DivergenceOutcome",
+    "conflicting_updates_run",
+    "analytic_scaling",
+    "render_scaling",
+    "format_table",
+    "format_mapping",
+    "banner",
+]

@@ -1,0 +1,41 @@
+"""Group communication component (Sect. 2.3 and 4 of the paper).
+
+The package provides classical uniform atomic broadcast, the new end-to-end
+atomic broadcast, view-based membership, failure detection, the stable
+message log used for log-based recovery, and checkpoint-based state transfer.
+"""
+
+from .atomic_broadcast import AtomicBroadcastEndpoint, Delivery
+from .end_to_end import EndToEndAtomicBroadcastEndpoint
+from .failure_detector import FailureDetector
+from .membership import GroupMembership, View
+from .message_log import GcsMessageLog, LoggedMessage
+from .spec import (ATOMIC_BROADCAST_PROPERTIES, END_TO_END_PROPERTIES,
+                   BroadcastProperty, BroadcastTrace, DeliveryRecord,
+                   GroupModel, ProcessClass, classify_process)
+from .state_transfer import (ApplicationCheckpoint, install_checkpoint,
+                             take_checkpoint)
+from .system import GroupCommunicationSystem
+
+__all__ = [
+    "AtomicBroadcastEndpoint",
+    "EndToEndAtomicBroadcastEndpoint",
+    "Delivery",
+    "GroupCommunicationSystem",
+    "GroupMembership",
+    "View",
+    "FailureDetector",
+    "GcsMessageLog",
+    "LoggedMessage",
+    "ApplicationCheckpoint",
+    "take_checkpoint",
+    "install_checkpoint",
+    "ProcessClass",
+    "classify_process",
+    "GroupModel",
+    "BroadcastProperty",
+    "BroadcastTrace",
+    "DeliveryRecord",
+    "ATOMIC_BROADCAST_PROPERTIES",
+    "END_TO_END_PROPERTIES",
+]

@@ -1,0 +1,422 @@
+"""Classical (uniform) atomic broadcast over the simulated LAN.
+
+The implementation follows the fixed-sequencer scheme with explicit
+stability, which is representative of what LAN group-communication toolkits
+do and produces the ~1 ms broadcast cost the paper quotes for a 100 Mb/s LAN:
+
+1. the sender ships ``DATA(m)`` to the current *sequencer* (the first member
+   of the current view);
+2. the sequencer assigns the next global sequence number and ships
+   ``SEQ(seq, m)`` to every view member (including itself);
+3. every member buffers the message and acknowledges with ``ACK(seq)``;
+4. once a quorum (majority of the static group) has acknowledged ``seq``, the
+   sequencer ships ``STABLE(up_to=seq)``; members A-deliver messages in
+   sequence order once they are covered by the stability horizon.
+
+Step 4 is what makes the delivery *uniform*: no member delivers a message
+that could still be lost by the crash of a minority.  What the primitive does
+**not** give — and this is the crux of the paper — is any guarantee that the
+application has *processed* a delivered message: delivery only means the
+message reached the application boundary.  The end-to-end variant in
+:mod:`repro.gcs.end_to_end` adds that missing guarantee.
+
+Recovery in this classical variant follows the dynamic crash no-recovery
+model: a recovering member rejoins the group and receives a *state transfer*
+(an application-level checkpoint) from a live member; delivered-but-
+unprocessed messages are **not** replayed, which is precisely how the Fig. 5
+scenario loses a committed transaction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..network.dispatch import Dispatcher
+from ..network.lan import Lan
+from ..network.message import Message
+from ..network.node import Node
+from ..sim.engine import Simulator
+from ..sim.resources import Store
+from .membership import GroupMembership, View
+from .spec import BroadcastTrace, DeliveryRecord
+
+
+@dataclass
+class Delivery:
+    """One A-deliver event handed to the application."""
+
+    payload: Any
+    broadcast_id: str
+    sequence: int
+    delivered_at: float
+    member: str
+    replayed: bool = False
+
+
+@dataclass
+class _PendingMessage:
+    broadcast_id: str
+    payload: Any
+    sender: str
+
+
+class AtomicBroadcastEndpoint:
+    """The group-communication component of one server (classical abcast)."""
+
+    #: Message-kind namespace used on the shared per-node dispatcher.
+    KIND_DATA = "ABCAST.DATA"
+    KIND_SEQ = "ABCAST.SEQ"
+    KIND_ACK = "ABCAST.ACK"
+    KIND_STABLE = "ABCAST.STABLE"
+    KIND_JOIN = "ABCAST.JOIN"
+    KIND_JOIN_REPLY = "ABCAST.JOIN_REPLY"
+    KIND_VC_REQUEST = "ABCAST.VC_REQUEST"
+    KIND_VC_STATE = "ABCAST.VC_STATE"
+
+    def __init__(self, sim: Simulator, lan: Lan, node: Node,
+                 dispatcher: Dispatcher, membership: GroupMembership,
+                 member_name: Optional[str] = None,
+                 delivery_cpu_time: float = 0.07,
+                 trace: Optional[BroadcastTrace] = None) -> None:
+        self.sim = sim
+        self.lan = lan
+        self.node = node
+        self.dispatcher = dispatcher
+        self.membership = membership
+        self.member_name = member_name or node.name
+        self.delivery_cpu_time = delivery_cpu_time
+        self.trace = trace
+        #: Deliveries ready for the application (A-deliver), in total order.
+        self.deliveries: Store = Store(sim, name=f"{self.member_name}.deliveries")
+        #: Provider of an application checkpoint for state transfer (set by
+        #: the replication technique); called with no argument, returns state.
+        self.checkpoint_provider: Optional[Callable[[], Any]] = None
+
+        self._broadcast_counter = itertools.count(1)
+        self._register_handlers()
+        self.membership.subscribe(self._on_view_change)
+        self.node.add_listener(self._on_node_event)
+        self._reset_volatile()
+
+        #: Statistics.
+        self.broadcast_count = 0
+        self.delivered_count = 0
+
+    # ------------------------------------------------------------------ state
+    def _reset_volatile(self) -> None:
+        """(Re)initialise every piece of state that does not survive a crash."""
+        self._outbox: Store = Store(self.sim, name=f"{self.member_name}.outbox")
+        self._ready: Store = Store(self.sim, name=f"{self.member_name}.ready")
+        self._pending: Dict[int, _PendingMessage] = {}
+        self._delivered_seq = 0
+        self._stable_up_to = 0
+        self._delivered_ids: Set[str] = set()
+        self._unsequenced: Dict[str, Any] = {}
+        # Sequencer-only state.
+        self._next_seq = 1
+        self._assigned: Dict[int, _PendingMessage] = {}
+        self._acks: Dict[int, Set[str]] = {}
+        self._sequenced_ids: Set[str] = set()
+        self._started = False
+
+    def _on_node_event(self, node: Node, event: str) -> None:
+        """Drop all volatile state when the hosting node crashes.
+
+        Deliveries that were queued for the application but never processed
+        are volatile too — losing them here is exactly the behaviour that
+        makes classical atomic broadcast unable to provide 2-safety.
+        """
+        if event != "crash":
+            return
+        self.deliveries.clear()
+        self._reset_volatile()
+        self._started = False
+
+    def _register_handlers(self) -> None:
+        handlers = {
+            self.KIND_DATA: self._on_data,
+            self.KIND_SEQ: self._on_seq,
+            self.KIND_ACK: self._on_ack,
+            self.KIND_STABLE: self._on_stable,
+            self.KIND_JOIN: self._on_join,
+            self.KIND_JOIN_REPLY: self._on_join_reply,
+            self.KIND_VC_REQUEST: self._on_vc_request,
+            self.KIND_VC_STATE: self._on_vc_state,
+        }
+        for kind, handler in handlers.items():
+            self.dispatcher.register(kind, handler)
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Start the endpoint's sender and delivery processes on the node."""
+        if self._started:
+            return
+        self._started = True
+        self.node.spawn(self._sender_loop(), name="abcast.sender")
+        self.node.spawn(self._delivery_loop(), name="abcast.delivery")
+
+    @property
+    def is_sequencer(self) -> bool:
+        """True if this member is the current view's sequencer."""
+        return self.membership.view.primary == self.member_name
+
+    def current_sequencer(self) -> Optional[str]:
+        """Name of the current sequencer (None if the view is empty)."""
+        return self.membership.view.primary
+
+    # ------------------------------------------------------------------ A-broadcast
+    def broadcast(self, payload: Any) -> str:
+        """A-broadcast ``payload`` to the group; returns the broadcast id.
+
+        The call is asynchronous (fire-and-forget), mirroring the A-send of
+        Fig. 4: the sender learns the outcome by A-delivering its own message.
+        """
+        broadcast_id = f"{self.member_name}#{next(self._broadcast_counter)}"
+        self._unsequenced[broadcast_id] = payload
+        if self.trace is not None:
+            self.trace.record_send(broadcast_id)
+        self.broadcast_count += 1
+        sequencer = self.current_sequencer()
+        if sequencer is not None:
+            self._post(self.KIND_DATA, sequencer,
+                       {"broadcast_id": broadcast_id, "payload": payload,
+                        "origin": self.member_name})
+        return broadcast_id
+
+    # ------------------------------------------------------------------ outbound
+    def _post(self, kind: str, destination: str, payload: Any) -> None:
+        """Queue one protocol message for the sender process."""
+        self._outbox.put(Message(sender=self.member_name,
+                                 destination=destination, kind=kind,
+                                 payload=payload))
+
+    def _post_view(self, kind: str, payload: Any) -> None:
+        """Queue one protocol message per current view member."""
+        for member in self.membership.view.members:
+            self._post(kind, member, payload)
+
+    def _sender_loop(self):
+        while True:
+            message = yield self._outbox.get()
+            yield from self.node.charge_network_cpu()
+            self.lan.send(message)
+
+    # ------------------------------------------------------------------ handlers
+    def _on_data(self, message: Message) -> None:
+        if not self.is_sequencer:
+            # A stale sender; forward to the real sequencer.
+            sequencer = self.current_sequencer()
+            if sequencer and sequencer != self.member_name:
+                self._post(self.KIND_DATA, sequencer, message.payload)
+            return
+        payload = message.payload
+        broadcast_id = payload["broadcast_id"]
+        if broadcast_id in self._sequenced_ids:
+            return  # duplicate resend after a view change
+        sequence = self._next_seq
+        self._next_seq += 1
+        entry = _PendingMessage(broadcast_id=broadcast_id,
+                                payload=payload["payload"],
+                                sender=payload["origin"])
+        self._assigned[sequence] = entry
+        self._sequenced_ids.add(broadcast_id)
+        self._post_view(self.KIND_SEQ,
+                        {"sequence": sequence, "broadcast_id": broadcast_id,
+                         "payload": entry.payload, "origin": entry.sender})
+
+    def _on_seq(self, message: Message) -> None:
+        payload = message.payload
+        sequence = payload["sequence"]
+        broadcast_id = payload["broadcast_id"]
+        self._pending[sequence] = _PendingMessage(
+            broadcast_id=broadcast_id, payload=payload["payload"],
+            sender=payload["origin"])
+        self._unsequenced.pop(broadcast_id, None)
+        sequencer = message.sender
+        self._post(self.KIND_ACK, sequencer,
+                   {"sequence": sequence, "member": self.member_name})
+        self._try_deliver()
+
+    def _on_ack(self, message: Message) -> None:
+        if not self.is_sequencer:
+            return
+        payload = message.payload
+        sequence = payload["sequence"]
+        self._acks.setdefault(sequence, set()).add(payload["member"])
+        self._advance_stability()
+
+    def _advance_stability(self) -> None:
+        quorum = self.membership.quorum_size
+        new_stable = self._stable_up_to
+        while True:
+            candidate = new_stable + 1
+            if candidate not in self._assigned:
+                break
+            if len(self._acks.get(candidate, ())) < quorum:
+                break
+            new_stable = candidate
+        if new_stable > self._stable_up_to:
+            self._post_view(self.KIND_STABLE, {"up_to": new_stable})
+
+    def _on_stable(self, message: Message) -> None:
+        up_to = message.payload["up_to"]
+        if up_to > self._stable_up_to:
+            self._stable_up_to = up_to
+        self._try_deliver()
+
+    def _try_deliver(self) -> None:
+        """Move contiguously stable messages to the delivery process."""
+        while True:
+            next_seq = self._delivered_seq + 1
+            if next_seq > self._stable_up_to or next_seq not in self._pending:
+                break
+            entry = self._pending.pop(next_seq)
+            self._delivered_seq = next_seq
+            if entry.broadcast_id in self._delivered_ids:
+                continue  # uniform integrity: never hand a duplicate upward
+            self._delivered_ids.add(entry.broadcast_id)
+            self._ready.put((next_seq, entry, False))
+
+    # ------------------------------------------------------------------ delivery
+    def _delivery_loop(self):
+        while True:
+            sequence, entry, replayed = yield self._ready.get()
+            if self.delivery_cpu_time:
+                yield from self.node.use_cpu(self.delivery_cpu_time)
+            yield from self._before_deliver(sequence, entry, replayed)
+            delivery = Delivery(payload=entry.payload,
+                                broadcast_id=entry.broadcast_id,
+                                sequence=sequence, delivered_at=self.sim.now,
+                                member=self.member_name, replayed=replayed)
+            self.delivered_count += 1
+            if self.trace is not None:
+                self.trace.record_delivery(DeliveryRecord(
+                    member=self.member_name, broadcast_id=entry.broadcast_id,
+                    sequence=sequence, delivered_at=self.sim.now))
+            self.deliveries.put(delivery)
+
+    def _before_deliver(self, sequence: int, entry: _PendingMessage,
+                        replayed: bool):
+        """Hook for subclasses (end-to-end logging); a generator."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def acknowledge(self, delivery: Delivery) -> None:
+        """Signal successful delivery (ack(m), Fig. 6).
+
+        The classical primitive has no provision for this — the call is
+        accepted and ignored, which is exactly the model mismatch Sect. 3
+        describes.  The end-to-end subclass overrides it.
+        """
+
+    # ------------------------------------------------------------------ view changes
+    def _on_view_change(self, view: View) -> None:
+        if self.node.is_crashed or not self._started:
+            return
+        if self.member_name not in view.members:
+            return
+        # Re-send messages of ours that were never sequenced to the (possibly
+        # new) sequencer.
+        sequencer = view.primary
+        if sequencer is None:
+            return
+        for broadcast_id, payload in list(self._unsequenced.items()):
+            self._post(self.KIND_DATA, sequencer,
+                       {"broadcast_id": broadcast_id, "payload": payload,
+                        "origin": self.member_name})
+        # If we just became the sequencer, collect the group's pending state.
+        if sequencer == self.member_name and not self._assigned and \
+                self._delivered_seq == 0 and self._stable_up_to == 0:
+            # Fresh sequencer with no local history of assignments: ask the
+            # other members what they have seen.
+            self._post_view(self.KIND_VC_REQUEST, {"view_id": view.view_id})
+        elif sequencer == self.member_name:
+            self._post_view(self.KIND_VC_REQUEST, {"view_id": view.view_id})
+
+    def _on_vc_request(self, message: Message) -> None:
+        pending = {seq: (entry.broadcast_id, entry.payload, entry.sender)
+                   for seq, entry in self._pending.items()}
+        self._post(self.KIND_VC_STATE, message.sender,
+                   {"pending": pending, "delivered_seq": self._delivered_seq,
+                    "stable_up_to": self._stable_up_to,
+                    "member": self.member_name})
+
+    def _on_vc_state(self, message: Message) -> None:
+        if not self.is_sequencer:
+            return
+        payload = message.payload
+        for sequence, (broadcast_id, data, origin) in payload["pending"].items():
+            if sequence not in self._assigned:
+                self._assigned[sequence] = _PendingMessage(
+                    broadcast_id=broadcast_id, payload=data, sender=origin)
+                self._sequenced_ids.add(broadcast_id)
+        highest_known = max([payload["delivered_seq"], payload["stable_up_to"],
+                             self._stable_up_to, self._delivered_seq] +
+                            list(self._assigned))  if self._assigned else \
+            max(payload["delivered_seq"], payload["stable_up_to"],
+                self._stable_up_to, self._delivered_seq)
+        self._next_seq = max(self._next_seq, highest_known + 1)
+        self._stable_up_to = max(self._stable_up_to,
+                                 min(payload["stable_up_to"], highest_known))
+        # Re-propagate every assignment we know about so that all members can
+        # (re-)acknowledge; receivers ignore duplicates they already delivered.
+        for sequence, entry in sorted(self._assigned.items()):
+            self._post_view(self.KIND_SEQ,
+                            {"sequence": sequence,
+                             "broadcast_id": entry.broadcast_id,
+                             "payload": entry.payload, "origin": entry.sender})
+
+    # ------------------------------------------------------------------ recovery
+    def recover(self, rejoin_timeout: float = 10.0):
+        """Generator: recover after a crash (dynamic crash no-recovery model).
+
+        The endpoint resets its volatile state, restarts its processes,
+        rejoins the group and — if some member is still alive — obtains an
+        application checkpoint via state transfer.  Returns the checkpoint (or
+        ``None`` when no live member answered, in which case the application
+        must fall back to its own stable storage).
+
+        Delivered-but-unprocessed messages are *not* replayed: with classical
+        atomic broadcast they are simply gone, which is the behaviour Sect. 3
+        of the paper builds its impossibility argument on.
+        """
+        self._reset_volatile()
+        self._started = False
+        if not self.dispatcher.is_running:
+            self.dispatcher.start()
+        self.start()
+        self.membership.add_member(self.member_name)
+        reply_box: Store = Store(self.sim, name=f"{self.member_name}.join_replies")
+        self._join_replies = reply_box
+        self._post_view(self.KIND_JOIN, {"member": self.member_name})
+        timeout = self.sim.timeout(rejoin_timeout)
+        first_reply = reply_box.get()
+        outcome = yield self.sim.any_of([first_reply, timeout])
+        if first_reply in outcome:
+            reply = first_reply.value
+            self._delivered_seq = reply["delivered_seq"]
+            self._stable_up_to = reply["delivered_seq"]
+            self._next_seq = reply["delivered_seq"] + 1
+            return reply["checkpoint"]
+        return None
+
+    def _on_join(self, message: Message) -> None:
+        joining = message.payload["member"]
+        self.membership.add_member(joining)
+        if joining == self.member_name:
+            return
+        checkpoint = self.checkpoint_provider() if self.checkpoint_provider else None
+        self._post(self.KIND_JOIN_REPLY, joining,
+                   {"delivered_seq": self._delivered_seq,
+                    "checkpoint": checkpoint, "member": self.member_name})
+
+    def _on_join_reply(self, message: Message) -> None:
+        box = getattr(self, "_join_replies", None)
+        if box is not None:
+            box.put(message.payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"<{type(self).__name__} {self.member_name} "
+                f"delivered={self._delivered_seq} stable={self._stable_up_to}>")

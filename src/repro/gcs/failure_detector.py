@@ -1,0 +1,95 @@
+"""Failure detection.
+
+The atomic broadcast algorithms of the literature are specified in the
+asynchronous model augmented with failure detectors (Chandra & Toueg).  The
+simulation does not need to reproduce heartbeat traffic to study the paper's
+questions, so the :class:`FailureDetector` here is a *perfect* detector driven
+by the simulator's oracle knowledge of node crashes, with a configurable
+detection latency: ``detection_delay`` milliseconds after a node crashes, all
+subscribed members are notified of the suspicion (and symmetrically for
+recoveries / rejoins).
+
+Using a perfect detector is the standard simulation shortcut; the properties
+the experiments check (safety of delivered transactions) do not depend on
+detector accuracy, only the liveness of view changes does.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..network.lan import Lan
+from ..network.node import Node
+from ..sim.engine import Simulator
+
+#: Callback signature: listener(member_name, event) with event "suspect"/"restore".
+SuspicionListener = Callable[[str, str], None]
+
+
+class FailureDetector:
+    """A perfect, oracle-driven failure detector shared by the whole group."""
+
+    def __init__(self, sim: Simulator, lan: Lan,
+                 detection_delay: float = 1.0) -> None:
+        if detection_delay < 0:
+            raise ValueError("detection delay must be non-negative")
+        self.sim = sim
+        self.lan = lan
+        self.detection_delay = detection_delay
+        self._listeners: List[SuspicionListener] = []
+        self._suspected: Dict[str, bool] = {}
+        for node in lan.nodes:
+            self._watch(node)
+
+    def _watch(self, node: Node) -> None:
+        self._suspected[node.name] = node.is_crashed
+        node.add_listener(self._on_node_event)
+
+    def watch(self, node: Node) -> None:
+        """Start monitoring a node attached to the LAN after construction."""
+        if node.name not in self._suspected:
+            self._watch(node)
+
+    # -- subscription -----------------------------------------------------------
+    def subscribe(self, listener: SuspicionListener) -> None:
+        """Register a listener for suspicion / restore notifications."""
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: SuspicionListener) -> None:
+        """Remove a previously registered listener."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    # -- queries -----------------------------------------------------------------
+    def is_suspected(self, member: str) -> bool:
+        """True if ``member`` is currently suspected to have crashed."""
+        return self._suspected.get(member, False)
+
+    def alive_members(self) -> List[str]:
+        """Names of members not currently suspected."""
+        return [name for name, suspected in self._suspected.items()
+                if not suspected]
+
+    # -- node events ---------------------------------------------------------------
+    def _on_node_event(self, node: Node, event: str) -> None:
+        if event == "crash":
+            self.sim.call_after(self.detection_delay,
+                                lambda: self._announce(node, "suspect"))
+        elif event == "recover":
+            self.sim.call_after(self.detection_delay,
+                                lambda: self._announce(node, "restore"))
+
+    def _announce(self, node: Node, kind: str) -> None:
+        # Re-check the oracle: the node may have recovered (or re-crashed)
+        # during the detection delay.
+        if kind == "suspect" and not node.is_crashed:
+            return
+        if kind == "restore" and node.is_crashed:
+            return
+        self._suspected[node.name] = (kind == "suspect")
+        for listener in list(self._listeners):
+            listener(node.name, kind)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        suspected = [name for name, flag in self._suspected.items() if flag]
+        return f"<FailureDetector suspected={suspected}>"

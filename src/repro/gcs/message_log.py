@@ -1,0 +1,102 @@
+"""Stable message log of the group-communication component.
+
+End-to-end atomic broadcast (Sect. 4.2 of the paper) requires the group
+communication component to *log messages and use log-based recovery*: every
+message is recorded at delivery time, and the acknowledgement of the
+application (``ack(m)``, i.e. successful delivery) is recorded when it
+arrives.  After a crash, the messages whose acknowledgement is missing are
+replayed to the application.
+
+The log lives on the node's stable storage, so it survives crashes — that is
+the whole point.  The classical atomic broadcast does **not** use this log,
+which is exactly why it cannot be used to build 2-safe replication (Sect. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..network.node import Node
+from ..db.stable_storage import StableStorage
+
+
+@dataclass
+class LoggedMessage:
+    """One delivered message as recorded on stable storage."""
+
+    sequence: int
+    broadcast_id: str
+    payload: Any
+    delivered_at: float
+    acknowledged: bool = False
+    acknowledged_at: Optional[float] = None
+
+
+class GcsMessageLog:
+    """Crash-surviving record of delivered messages and their acknowledgements."""
+
+    def __init__(self, node: Node, name: str = "gcs_log") -> None:
+        self.node = node
+        self._storage: StableStorage = node.register_stable(
+            f"{name}.messages", StableStorage(f"{node.name}.{name}"))
+
+    # -- recording ----------------------------------------------------------------
+    def record_delivery(self, sequence: int, broadcast_id: str, payload: Any,
+                        delivered_at: float) -> LoggedMessage:
+        """Durably record that message ``broadcast_id`` was delivered."""
+        existing = self._storage.get(broadcast_id)
+        if existing is not None:
+            return existing
+        entry = LoggedMessage(sequence=sequence, broadcast_id=broadcast_id,
+                              payload=payload, delivered_at=delivered_at)
+        self._storage.put(broadcast_id, entry)
+        return entry
+
+    def record_ack(self, broadcast_id: str, acknowledged_at: float) -> None:
+        """Durably record the application's ack(m) for ``broadcast_id``."""
+        entry: Optional[LoggedMessage] = self._storage.get(broadcast_id)
+        if entry is None:
+            return
+        entry.acknowledged = True
+        entry.acknowledged_at = acknowledged_at
+        self._storage.put(broadcast_id, entry)
+
+    # -- queries -------------------------------------------------------------------
+    def is_logged(self, broadcast_id: str) -> bool:
+        """True if delivery of ``broadcast_id`` was recorded on this server."""
+        return broadcast_id in self._storage
+
+    def is_acknowledged(self, broadcast_id: str) -> bool:
+        """True if the application acknowledged ``broadcast_id`` here."""
+        entry = self._storage.get(broadcast_id)
+        return bool(entry and entry.acknowledged)
+
+    def entries(self) -> List[LoggedMessage]:
+        """All logged messages, in delivery (sequence) order."""
+        logged = [self._storage.get(key) for key in self._storage.keys()]
+        return sorted(logged, key=lambda entry: entry.sequence)
+
+    def unacknowledged(self) -> List[LoggedMessage]:
+        """Messages delivered but never acknowledged, in sequence order.
+
+        These are exactly the messages the end-to-end broadcast replays after
+        a crash (Fig. 7 of the paper).
+        """
+        return [entry for entry in self.entries() if not entry.acknowledged]
+
+    def highest_sequence(self) -> int:
+        """The largest sequence number ever logged here (0 if none)."""
+        entries = self.entries()
+        return entries[-1].sequence if entries else 0
+
+    def as_dict(self) -> Dict[str, LoggedMessage]:
+        """Mapping broadcast id -> logged entry (a shallow copy)."""
+        return {entry.broadcast_id: entry for entry in self.entries()}
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"<GcsMessageLog {self.node.name} logged={len(self)} "
+                f"unacked={len(self.unacknowledged())}>")

@@ -1,0 +1,192 @@
+"""Specifications and vocabulary of the group-communication component.
+
+This module contains the *model-level* definitions of Sect. 2.3 of the paper:
+the process classes (green / yellow / red), the two group-communication system
+models (dynamic crash no-recovery vs. static crash recovery), and the formal
+properties of atomic broadcast and of end-to-end atomic broadcast.  The
+property objects are used by tests and by the experiment audit to state, in
+code, exactly which guarantee is being checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Sequence
+
+
+class ProcessClass(Enum):
+    """Behavioural classes of processes (Fig. 3 of the paper).
+
+    * ``GREEN`` — never crashes.
+    * ``YELLOW`` — may crash (possibly repeatedly) but is eventually forever up.
+    * ``RED`` — crashes forever, or keeps crashing and recovering (unstable).
+
+    Green and yellow processes are the "good" processes of Aguilera et al.;
+    red processes are the "bad" ones.  The obligations of atomic broadcast
+    (uniform agreement, the end-to-end property) bind only non-red processes.
+    """
+
+    GREEN = "green"
+    YELLOW = "yellow"
+    RED = "red"
+
+    @property
+    def is_good(self) -> bool:
+        """True for green and yellow processes (Aguilera et al.'s 'good')."""
+        return self is not ProcessClass.RED
+
+
+def classify_process(crash_count: int, currently_up: bool,
+                     recovers_in_future: bool = False) -> ProcessClass:
+    """Classify a process from its observed crash/recovery behaviour.
+
+    ``recovers_in_future`` expresses the oracle knowledge an experiment has
+    about the rest of its schedule (the classification is a property of the
+    *complete* run, like in the paper's model).
+    """
+    if crash_count == 0 and currently_up:
+        return ProcessClass.GREEN
+    if currently_up or recovers_in_future:
+        return ProcessClass.YELLOW
+    return ProcessClass.RED
+
+
+class GroupModel(Enum):
+    """The two system models discussed in Sect. 2.3."""
+
+    #: Isis-style view-based model: processes never recover under the same
+    #: identity; recovery is by rejoining with a state transfer.  Cannot
+    #: tolerate the crash of all members of a view.
+    DYNAMIC_CRASH_NO_RECOVERY = "dynamic-crash-no-recovery"
+
+    #: Static group with access to stable storage: processes may crash and
+    #: recover with the same identity; tolerates the simultaneous crash of
+    #: every process.
+    STATIC_CRASH_RECOVERY = "static-crash-recovery"
+
+
+@dataclass(frozen=True)
+class BroadcastProperty:
+    """A named property of a broadcast primitive, with its informal statement."""
+
+    name: str
+    statement: str
+
+
+#: Properties of (classical) atomic broadcast, Sect. 2.3.
+ATOMIC_BROADCAST_PROPERTIES: Sequence[BroadcastProperty] = (
+    BroadcastProperty(
+        "validity",
+        "If a process A-delivers m, then m was A-broadcast by some process."),
+    BroadcastProperty(
+        "uniform agreement",
+        "If a process A-delivers a message m, then all non-red processes "
+        "eventually A-deliver m."),
+    BroadcastProperty(
+        "uniform integrity",
+        "For every message m, every process A-delivers m at most once."),
+    BroadcastProperty(
+        "uniform total order",
+        "If two processes p and q A-deliver messages m and m', then p "
+        "delivers m before m' if and only if q delivers m before m'."),
+)
+
+#: Additional / refined properties of end-to-end atomic broadcast, Sect. 4.2.
+END_TO_END_PROPERTIES: Sequence[BroadcastProperty] = (
+    BroadcastProperty(
+        "end-to-end",
+        "If a non-red process A-delivers a message m, then it eventually "
+        "successfully A-delivers m."),
+    BroadcastProperty(
+        "uniform integrity (successful delivery)",
+        "For every message m, every process successfully A-delivers m at "
+        "most once."),
+)
+
+
+@dataclass
+class DeliveryRecord:
+    """One observed A-deliver event, used by tests to check the properties."""
+
+    member: str
+    broadcast_id: str
+    sequence: int
+    delivered_at: float
+    acknowledged: bool = False
+    acknowledged_at: Optional[float] = None
+
+
+@dataclass
+class BroadcastTrace:
+    """The observable history of a group of broadcast endpoints.
+
+    Collecting the sent broadcasts and the per-member delivery sequences is
+    enough to check validity, integrity, total order and (given the process
+    classification) agreement; tests use the check methods directly.
+    """
+
+    sent: List[str] = field(default_factory=list)
+    deliveries: List[DeliveryRecord] = field(default_factory=list)
+
+    def record_send(self, broadcast_id: str) -> None:
+        """Record that ``broadcast_id`` was A-broadcast."""
+        self.sent.append(broadcast_id)
+
+    def record_delivery(self, record: DeliveryRecord) -> None:
+        """Record one A-deliver event."""
+        self.deliveries.append(record)
+
+    def sequence_at(self, member: str) -> List[str]:
+        """Broadcast ids delivered at ``member``, in delivery order."""
+        ordered = sorted((d for d in self.deliveries if d.member == member),
+                         key=lambda d: (d.delivered_at, d.sequence))
+        return [d.broadcast_id for d in ordered]
+
+    # -- property checks ----------------------------------------------------------
+    def check_validity(self) -> bool:
+        """Every delivered message was actually broadcast."""
+        sent = set(self.sent)
+        return all(d.broadcast_id in sent for d in self.deliveries)
+
+    def check_integrity(self) -> bool:
+        """No member delivered the same message twice."""
+        seen = set()
+        for delivery in self.deliveries:
+            key = (delivery.member, delivery.broadcast_id)
+            if key in seen:
+                return False
+            seen.add(key)
+        return True
+
+    def check_total_order(self) -> bool:
+        """All members deliver common messages in the same relative order."""
+        sequences = {}
+        for delivery in self.deliveries:
+            sequences.setdefault(delivery.member, [])
+        for member in sequences:
+            sequences[member] = self.sequence_at(member)
+        members = list(sequences)
+        for i, first in enumerate(members):
+            for second in members[i + 1:]:
+                common = [m for m in sequences[first] if m in set(sequences[second])]
+                other = [m for m in sequences[second] if m in set(sequences[first])]
+                if common != other:
+                    return False
+        return True
+
+    def check_uniform_agreement(self, non_red_members: Sequence[str]) -> bool:
+        """Every message delivered anywhere is delivered by all non-red members."""
+        delivered_anywhere = {d.broadcast_id for d in self.deliveries}
+        for member in non_red_members:
+            delivered_here = set(self.sequence_at(member))
+            if not delivered_anywhere.issubset(delivered_here):
+                return False
+        return True
+
+    def check_end_to_end(self, non_red_members: Sequence[str]) -> bool:
+        """Every delivery at a non-red member is eventually acknowledged."""
+        for delivery in self.deliveries:
+            if delivery.member in non_red_members and not delivery.acknowledged:
+                return False
+        return True

@@ -1,0 +1,102 @@
+"""Facade wiring the group-communication component of a whole cluster.
+
+:class:`GroupCommunicationSystem` builds, for a set of nodes attached to one
+LAN, the shared failure detector, the view-based membership, one message
+dispatcher per node and one atomic broadcast endpoint per node (classical or
+end-to-end).  The replication techniques receive this object and only talk to
+their local endpoint (``system.endpoint(name)``) and dispatcher
+(``system.dispatcher(name)``) — mirroring the architecture of Fig. 1 where the
+application uses the group-communication component without knowing how it is
+implemented.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..network.dispatch import Dispatcher
+from ..network.lan import Lan
+from ..network.node import Node
+from ..sim.engine import Simulator
+from .atomic_broadcast import AtomicBroadcastEndpoint
+from .end_to_end import EndToEndAtomicBroadcastEndpoint
+from .failure_detector import FailureDetector
+from .membership import GroupMembership
+from .spec import BroadcastTrace
+
+
+class GroupCommunicationSystem:
+    """All group-communication machinery of one replicated database cluster."""
+
+    def __init__(self, sim: Simulator, lan: Lan,
+                 nodes: Optional[Sequence[Node]] = None,
+                 end_to_end: bool = False,
+                 delivery_cpu_time: float = 0.07,
+                 delivery_log_time: float = 0.0,
+                 detection_delay: float = 1.0,
+                 quorum_size: Optional[int] = None) -> None:
+        self.sim = sim
+        self.lan = lan
+        self.end_to_end = end_to_end
+        members = list(nodes) if nodes is not None else list(lan.nodes)
+        if not members:
+            raise ValueError("the group needs at least one node")
+        self.failure_detector = FailureDetector(sim, lan,
+                                                detection_delay=detection_delay)
+        self.membership = GroupMembership(
+            sim, [node.name for node in members],
+            failure_detector=self.failure_detector, quorum_size=quorum_size)
+        self.trace = BroadcastTrace()
+        self._dispatchers: Dict[str, Dispatcher] = {}
+        self._endpoints: Dict[str, AtomicBroadcastEndpoint] = {}
+        for node in members:
+            dispatcher = Dispatcher(sim, node)
+            self._dispatchers[node.name] = dispatcher
+            if end_to_end:
+                endpoint: AtomicBroadcastEndpoint = EndToEndAtomicBroadcastEndpoint(
+                    sim, lan, node, dispatcher, self.membership,
+                    delivery_cpu_time=delivery_cpu_time,
+                    delivery_log_time=delivery_log_time, trace=self.trace)
+            else:
+                endpoint = AtomicBroadcastEndpoint(
+                    sim, lan, node, dispatcher, self.membership,
+                    delivery_cpu_time=delivery_cpu_time, trace=self.trace)
+            self._endpoints[node.name] = endpoint
+
+    # -- access ---------------------------------------------------------------
+    def endpoint(self, name: str) -> AtomicBroadcastEndpoint:
+        """The atomic broadcast endpoint of server ``name``."""
+        return self._endpoints[name]
+
+    def dispatcher(self, name: str) -> Dispatcher:
+        """The message dispatcher of server ``name``."""
+        return self._dispatchers[name]
+
+    @property
+    def endpoints(self) -> List[AtomicBroadcastEndpoint]:
+        """All endpoints, in node order."""
+        return list(self._endpoints.values())
+
+    def member_names(self) -> List[str]:
+        """Names of all static group members."""
+        return list(self._endpoints)
+
+    # -- lifecycle ----------------------------------------------------------------
+    def start(self) -> None:
+        """Start dispatchers and endpoints on every node that is up."""
+        for name, endpoint in self._endpoints.items():
+            node = self.lan.node(name)
+            if node.is_crashed:
+                continue
+            self._dispatchers[name].start()
+            endpoint.start()
+
+    def start_member(self, name: str) -> None:
+        """Start (or restart) the dispatcher and endpoint of one member."""
+        self._dispatchers[name].start()
+        self._endpoints[name].start()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        kind = "end-to-end" if self.end_to_end else "classical"
+        return (f"<GroupCommunicationSystem {kind} members="
+                f"{self.member_names()}>")

@@ -1,0 +1,14 @@
+"""Simulated network substrate: messages, nodes and the LAN model.
+
+The network package models the "machine" level of the system: each
+:class:`~repro.network.node.Node` is one server machine with CPUs, disks, an
+inbox and crash/recovery state; the :class:`~repro.network.lan.Lan` connects
+nodes with the fixed LAN latency of the paper's Table 4 (0.07 ms).
+"""
+
+from .dispatch import Dispatcher
+from .lan import Lan
+from .message import Message, next_message_id
+from .node import Node
+
+__all__ = ["Dispatcher", "Lan", "Message", "Node", "next_message_id"]

@@ -1,0 +1,132 @@
+"""Local-area network model.
+
+The paper's Table 4 models the network with two constants: 0.07 ms for a
+message or a broadcast on the network, and 0.07 ms of CPU time per network
+operation.  The :class:`Lan` therefore delivers every message after a fixed
+(optionally jittered) latency, and charges no bandwidth: a 100 Mb/s switched
+LAN is effectively uncontended at the message sizes and rates of the study.
+
+Messages addressed to a crashed node are dropped, as are messages whose
+sender and destination are separated by an active partition.  Delivery is
+FIFO per sender–destination pair (the heap tie-break of the simulator
+preserves insertion order for equal timestamps), which is the usual
+assumption for a LAN transport such as TCP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..sim.engine import Simulator
+from .message import Message
+from .node import Node
+
+
+class Lan:
+    """A broadcast-capable local-area network connecting :class:`Node` objects."""
+
+    def __init__(self, sim: Simulator, latency: float = 0.07,
+                 jitter: float = 0.0) -> None:
+        if latency < 0 or jitter < 0:
+            raise ValueError("latency and jitter must be non-negative")
+        self.sim = sim
+        self.latency = latency
+        self.jitter = jitter
+        self._nodes: Dict[str, Node] = {}
+        self._blocked_pairs: Set[Tuple[str, str]] = set()
+        #: Count of messages handed to the network (before drops).
+        self.sent_count = 0
+        #: Count of messages actually delivered to an inbox.
+        self.delivered_count = 0
+        #: Count of messages dropped (crashed destination or partition).
+        self.dropped_count = 0
+
+    # -- topology ---------------------------------------------------------------
+    def attach(self, node: Node) -> Node:
+        """Connect ``node`` to the LAN and return it."""
+        if node.name in self._nodes:
+            raise ValueError(f"a node named {node.name!r} is already attached")
+        self._nodes[node.name] = node
+        return node
+
+    def node(self, name: str) -> Node:
+        """Return the attached node called ``name``."""
+        return self._nodes[name]
+
+    def node_names(self) -> List[str]:
+        """Names of all attached nodes, in attachment order."""
+        return list(self._nodes)
+
+    @property
+    def nodes(self) -> List[Node]:
+        """All attached nodes, in attachment order."""
+        return list(self._nodes.values())
+
+    # -- partitions ----------------------------------------------------------------
+    def partition(self, group_a: Iterable[str], group_b: Iterable[str]) -> None:
+        """Block all traffic between the two groups of node names."""
+        for a in group_a:
+            for b in group_b:
+                self._blocked_pairs.add((a, b))
+                self._blocked_pairs.add((b, a))
+
+    def heal(self) -> None:
+        """Remove every partition."""
+        self._blocked_pairs.clear()
+
+    def is_blocked(self, sender: str, destination: str) -> bool:
+        """True if a partition currently separates ``sender`` and ``destination``."""
+        return (sender, destination) in self._blocked_pairs
+
+    # -- transmission -----------------------------------------------------------------
+    def _delivery_delay(self) -> float:
+        delay = self.latency
+        if self.jitter:
+            delay += self.sim.random.uniform("lan.jitter", 0.0, self.jitter)
+        return delay
+
+    def send(self, message: Message) -> None:
+        """Send a point-to-point message.
+
+        The message is silently dropped if the destination is unknown,
+        crashed, or partitioned away — exactly what a datagram network does.
+        """
+        self.sent_count += 1
+        destination = self._nodes.get(message.destination)
+        if destination is None:
+            self.dropped_count += 1
+            return
+        if self.is_blocked(message.sender, message.destination):
+            self.dropped_count += 1
+            return
+        stamped = Message(sender=message.sender, destination=message.destination,
+                          kind=message.kind, payload=message.payload,
+                          message_id=message.message_id, sent_at=self.sim.now)
+        self.sim.call_after(self._delivery_delay(),
+                            lambda: self._deliver(stamped, destination))
+
+    def broadcast(self, message: Message,
+                  destinations: Optional[Iterable[str]] = None) -> None:
+        """Send one copy of ``message`` to every destination (default: all nodes).
+
+        The sender receives its own copy too; self-delivery is how a process
+        learns the total order of its own broadcasts.
+        """
+        names = list(destinations) if destinations is not None else self.node_names()
+        for name in names:
+            self.send(message.with_destination(name))
+
+    def _deliver(self, message: Message, destination: Node) -> None:
+        if destination.is_crashed:
+            # The destination crashed while the message was in flight.
+            self.dropped_count += 1
+            return
+        if self.is_blocked(message.sender, message.destination):
+            self.dropped_count += 1
+            return
+        self.delivered_count += 1
+        destination.inbox.put(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"<Lan nodes={len(self._nodes)} sent={self.sent_count} "
+                f"delivered={self.delivered_count}>")

@@ -1,0 +1,65 @@
+"""Network message representation.
+
+Messages are small immutable envelopes: a sender, a destination, a ``kind``
+tag used by protocol dispatch, and an arbitrary payload.  A process-wide
+monotonically increasing identifier makes every message distinguishable, which
+the group-communication layer relies on for duplicate suppression and
+acknowledgement bookkeeping.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+_message_ids = itertools.count(1)
+
+
+def next_message_id() -> int:
+    """Return a fresh unique message identifier."""
+    return next(_message_ids)
+
+
+@dataclass(frozen=True)
+class Message:
+    """An envelope travelling on the simulated LAN.
+
+    Attributes
+    ----------
+    sender:
+        Name of the sending node.
+    destination:
+        Name of the receiving node (point-to-point) or ``"*"`` for the
+        broadcast pseudo-destination.
+    kind:
+        Protocol-level tag (``"DATA"``, ``"ORDERED"``, ``"ACK"``...), used by
+        receivers to dispatch.
+    payload:
+        Arbitrary application data.
+    message_id:
+        Unique identifier assigned at creation.
+    sent_at:
+        Simulated time at which the message entered the network.
+    """
+
+    sender: str
+    destination: str
+    kind: str
+    payload: Any = None
+    message_id: int = field(default_factory=next_message_id)
+    sent_at: Optional[float] = None
+
+    def with_destination(self, destination: str) -> "Message":
+        """Return a copy of this message addressed to ``destination``.
+
+        The copy keeps the same ``message_id`` so that the per-destination
+        copies produced by a broadcast are recognisably the same message.
+        """
+        return Message(sender=self.sender, destination=destination,
+                       kind=self.kind, payload=self.payload,
+                       message_id=self.message_id, sent_at=self.sent_at)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"Message(#{self.message_id} {self.kind} "
+                f"{self.sender}->{self.destination})")

@@ -1,0 +1,156 @@
+"""The physical machine hosting one database server.
+
+A :class:`Node` bundles everything that crashes together (Sect. 2.4 of the
+paper: the database component, the group-communication component and the
+replication logic of one server all reside in the same process and therefore
+fail together):
+
+* a set of CPUs and disks modelled as FIFO :class:`~repro.sim.resources.Resource`s,
+* a network endpoint (the inbox used by the LAN),
+* a registry of *volatile* simulated processes, all killed on crash,
+* a registry of *stable storage* objects that survive crashes,
+* crash / recovery state with listeners (failure detectors, experiments).
+
+The paper's Table 4 gives each server 2 CPUs and 2 disks; those are the
+defaults here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..sim.engine import Simulator
+from ..sim.process import Process
+from ..sim.resources import Resource, Store
+
+#: Listener signature: listener(node, event) with event in {"crash", "recover"}.
+NodeListener = Callable[["Node", str], None]
+
+
+class Node:
+    """One machine on the simulated LAN."""
+
+    def __init__(self, sim: Simulator, name: str, cpus: int = 2, disks: int = 2,
+                 cpu_time_per_io: float = 0.4,
+                 cpu_time_per_network_op: float = 0.07) -> None:
+        if cpus < 1 or disks < 1:
+            raise ValueError("a node needs at least one CPU and one disk")
+        self.sim = sim
+        self.name = name
+        self.cpu = Resource(sim, capacity=cpus, name=f"{name}.cpu")
+        self.disk = Resource(sim, capacity=disks, name=f"{name}.disk")
+        self.cpu_time_per_io = cpu_time_per_io
+        self.cpu_time_per_network_op = cpu_time_per_network_op
+        self.inbox = Store(sim, name=f"{name}.inbox")
+        self._crashed = False
+        self._processes: List[Process] = []
+        self._stable: Dict[str, Any] = {}
+        self._listeners: List[NodeListener] = []
+        #: Number of times this node has crashed (incarnation counter).
+        self.crash_count = 0
+        #: Simulated times of crashes and recoveries, for the experiment audit.
+        self.crash_times: List[float] = []
+        self.recovery_times: List[float] = []
+
+    # -- status ---------------------------------------------------------------
+    @property
+    def is_up(self) -> bool:
+        """True while the node has not crashed (or has recovered)."""
+        return not self._crashed
+
+    @property
+    def is_crashed(self) -> bool:
+        """True while the node is down."""
+        return self._crashed
+
+    # -- process hosting --------------------------------------------------------
+    def spawn(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a volatile process on this node.
+
+        The process is killed if the node crashes.  Crashed nodes refuse to
+        start new processes, which catches model bugs where a dead server
+        keeps doing work.
+        """
+        if self._crashed:
+            raise RuntimeError(f"cannot spawn on crashed node {self.name!r}")
+        process = self.sim.spawn(generator, name=f"{self.name}:{name or 'proc'}")
+        self._processes.append(process)
+        self._prune_finished()
+        return process
+
+    def _prune_finished(self) -> None:
+        if len(self._processes) > 64:
+            self._processes = [p for p in self._processes if p.is_alive]
+
+    # -- stable storage registry -------------------------------------------------
+    def register_stable(self, key: str, obj: Any) -> Any:
+        """Register ``obj`` as surviving crashes under ``key`` and return it."""
+        self._stable[key] = obj
+        return obj
+
+    def stable(self, key: str) -> Any:
+        """Return the stable object registered under ``key``."""
+        return self._stable[key]
+
+    def stable_keys(self) -> List[str]:
+        """Names of all registered stable-storage objects."""
+        return list(self._stable)
+
+    # -- CPU / disk helpers --------------------------------------------------------
+    def use_cpu(self, duration: float):
+        """Generator: occupy one CPU of the node for ``duration`` ms."""
+        yield from self.cpu.use(duration)
+
+    def use_disk(self, duration: float):
+        """Generator: occupy one disk of the node for ``duration`` ms."""
+        yield from self.disk.use(duration)
+
+    def charge_network_cpu(self):
+        """Generator: charge the CPU cost of one network operation."""
+        yield from self.cpu.use(self.cpu_time_per_network_op)
+
+    # -- crash / recovery ------------------------------------------------------------
+    def add_listener(self, listener: NodeListener) -> None:
+        """Subscribe to crash / recovery notifications."""
+        self._listeners.append(listener)
+
+    def crash(self, cause: object = "crash") -> None:
+        """Crash the node: kill volatile processes, drop queued work.
+
+        Stable-storage objects registered via :meth:`register_stable` are kept
+        untouched; everything else (inbox, resource queues, running processes)
+        is lost, exactly as in the paper's failure model.
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        self.crash_count += 1
+        self.crash_times.append(self.sim.now)
+        for process in self._processes:
+            process.kill(cause=f"{self.name}:{cause}")
+        self._processes.clear()
+        self.inbox.clear()
+        self.cpu.cancel_all()
+        self.disk.cancel_all()
+        for listener in list(self._listeners):
+            listener(self, "crash")
+
+    def recover(self) -> None:
+        """Mark the node as up again.
+
+        The node itself only flips its state and notifies listeners; the
+        *application-level* recovery (database redo, group-communication state
+        transfer or message replay) is driven by the replica server built on
+        top of the node, because what recovery means depends on the
+        replication technique — that distinction is the heart of the paper.
+        """
+        if not self._crashed:
+            return
+        self._crashed = False
+        self.recovery_times.append(self.sim.now)
+        for listener in list(self._listeners):
+            listener(self, "recover")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "crashed" if self._crashed else "up"
+        return f"<Node {self.name!r} {state}>"

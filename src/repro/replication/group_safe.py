@@ -1,0 +1,24 @@
+"""Group-safe replication (Fig. 8 of the paper).
+
+The client is answered as soon as the transaction has been delivered by the
+atomic broadcast on the delegate and the commit/abort decision is known.  At
+that moment the message carrying the transaction is guaranteed to be delivered
+on all available servers (the group holds it), but it may not be logged on any
+of them: durability is entrusted to the *group*, not to stable storage.  All
+disk writes therefore happen asynchronously, outside the transaction boundary,
+which is where the technique's performance advantage comes from (Sect. 6).
+"""
+
+from __future__ import annotations
+
+from .dbsm import DatabaseStateMachineReplica, SafetyMode
+
+
+class GroupSafeReplica(DatabaseStateMachineReplica):
+    """Database state machine replica answering at delivery time (group-safe)."""
+
+    technique_name = SafetyMode.GROUP_SAFE.value
+
+    def __init__(self, sim, node, database, dispatcher, params, endpoint) -> None:
+        super().__init__(sim, node, database, dispatcher, params, endpoint,
+                         mode=SafetyMode.GROUP_SAFE)

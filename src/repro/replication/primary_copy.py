@@ -1,0 +1,60 @@
+"""Primary-copy routing.
+
+The paper's techniques are *update everywhere*: any server can act as the
+delegate of a transaction.  The classical alternative is *primary copy*,
+where every update transaction is executed by a single designated primary and
+the other servers are read-only backups.  The footnote of Sect. 5.2 points
+out that with primary copy the "group fails but the delegate survives" column
+of Table 3 becomes meaningful, because the delegate is always the same,
+well-known server.
+
+Primary copy is a *routing policy*, not a different replica algorithm, so the
+class below simply decides which server a client should submit to; it is used
+by the cluster facade and by the Table 3 experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class RoutingPolicy:
+    """Base class: decide which server receives the next transaction."""
+
+    def choose(self, servers: Sequence[str], client_index: int) -> str:
+        """Return the name of the server the client should use as delegate."""
+        raise NotImplementedError
+
+
+class UpdateEverywhereRouting(RoutingPolicy):
+    """Clients stay attached to 'their' server (Table 4: 4 clients per server)."""
+
+    def choose(self, servers: Sequence[str], client_index: int) -> str:
+        if not servers:
+            raise ValueError("no servers to route to")
+        return servers[client_index % len(servers)]
+
+
+class PrimaryCopyRouting(RoutingPolicy):
+    """All update transactions go to a single primary server."""
+
+    def __init__(self, primary: Optional[str] = None) -> None:
+        self.primary = primary
+
+    def choose(self, servers: Sequence[str], client_index: int) -> str:
+        if not servers:
+            raise ValueError("no servers to route to")
+        if self.primary is not None:
+            if self.primary not in servers:
+                raise ValueError(f"primary {self.primary!r} is not a server")
+            return self.primary
+        return servers[0]
+
+
+def make_routing(policy: str, primary: Optional[str] = None) -> RoutingPolicy:
+    """Build a routing policy from its name (``"update-everywhere"`` / ``"primary-copy"``)."""
+    if policy == "update-everywhere":
+        return UpdateEverywhereRouting()
+    if policy == "primary-copy":
+        return PrimaryCopyRouting(primary)
+    raise ValueError(f"unknown routing policy {policy!r}")

@@ -1,0 +1,30 @@
+"""2-safe replication over end-to-end atomic broadcast (Sect. 4.3, Fig. 7).
+
+The replication logic is the database state machine of Fig. 2 with one
+difference: the underlying primitive is the *end-to-end* atomic broadcast of
+Sect. 4.2.  The group-communication component logs every delivery on stable
+storage and replays, after a crash, every message whose processing was not
+acknowledged; the replica acknowledges (ack(m)) once the transaction is logged
+and therefore guaranteed to commit.  Combined with testable transactions
+(exactly-once commits), every non-red server eventually commits every
+transaction exactly once — the technique is 2-safe: no committed transaction
+can be lost, even if all servers crash.
+
+This cannot be built on classical atomic broadcast (Sect. 3): the delivery of
+a message guarantees nothing about its processing, and once it has been
+delivered everywhere no component will ever present it again.
+"""
+
+from __future__ import annotations
+
+from .dbsm import DatabaseStateMachineReplica, SafetyMode
+
+
+class TwoSafeReplica(DatabaseStateMachineReplica):
+    """Database state machine replica on end-to-end atomic broadcast (2-safe)."""
+
+    technique_name = SafetyMode.TWO_SAFE.value
+
+    def __init__(self, sim, node, database, dispatcher, params, endpoint) -> None:
+        super().__init__(sim, node, database, dispatcher, params, endpoint,
+                         mode=SafetyMode.TWO_SAFE)

@@ -1,0 +1,21 @@
+"""0-safe replication (Table 1 of the paper).
+
+The weakest point of the safety matrix: the client is notified as soon as the
+delegate has executed the transaction, *before* anything reaches stable
+storage and before any other replica has seen it.  A single crash of the
+delegate at the wrong moment loses the transaction.  The variant exists in
+the library to populate the "No Safety" cell of Table 1 and the "0 crashes
+tolerated" row of Table 2; it is a lazy replica that answers before its log
+flush.
+"""
+
+from __future__ import annotations
+
+from .lazy import LazyReplica
+
+
+class ZeroSafeReplica(LazyReplica):
+    """Lazy replica that answers the client before the commit record is durable."""
+
+    technique_name = "0-safe"
+    respond_before_logging = True

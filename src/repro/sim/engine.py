@@ -1,0 +1,171 @@
+"""The discrete-event simulation engine.
+
+The :class:`Simulator` owns the simulated clock and the event queue and drives
+all simulated processes.  It is deliberately deterministic: two runs with the
+same seed and the same program produce the same event ordering, which is what
+makes the failure-injection experiments of the paper reproducible.
+
+Time is a float.  Throughout the library the unit is **milliseconds**, because
+the paper's Table 4 expresses every service time in milliseconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from .errors import SchedulingError, SimulationError
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Process
+from .rng import RandomStreams
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the named random streams (see
+        :class:`~repro.sim.rng.RandomStreams`).  Two simulators built with the
+        same seed and running the same model produce identical traces.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now: float = 0.0
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+        self._finished = False
+        self.random = RandomStreams(seed)
+        #: Arbitrary per-run annotations experiments may attach (e.g. config).
+        self.metadata: dict = {}
+
+    # -- clock --------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    # -- event creation -------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event bound to this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` milliseconds from now."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Create an event that fires once all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Create an event that fires once any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    def spawn(self, generator: Generator[Event, Any, Any],
+              name: Optional[str] = None) -> Process:
+        """Start a new simulated process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    # Alias kept for readability at call sites that mirror SimPy code.
+    process = spawn
+
+    def call_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at {time} (now is {self._now})")
+        return self.call_after(time - self._now, callback)
+
+    def call_after(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` after ``delay`` milliseconds of simulated time."""
+        event = self.timeout(delay)
+        event.add_callback(lambda _event: callback())
+        return event
+
+    # -- scheduling internals -------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0,
+                  priority: bool = False) -> None:
+        """Place a triggered event on the queue ``delay`` from now.
+
+        ``priority`` events (interrupts) sort before ordinary events that were
+        scheduled for the same instant, which makes crash delivery immediate.
+        """
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay!r}")
+        self._sequence += 1
+        rank = 0 if priority else 1
+        heapq.heappush(self._queue,
+                       (self._now + delay, rank, self._sequence, event))
+
+    # -- execution --------------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event in the queue."""
+        if not self._queue:
+            raise SimulationError("step() called on an empty event queue")
+        when, _rank, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event queue went backwards in time")
+        self._now = when
+        event._run_callbacks()
+        if not event.ok and not event.defused:
+            # A failure nobody handled is a bug in the model; surface it.
+            raise event.value
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue is empty or simulated time reaches ``until``.
+
+        Returns the simulation time at which the run stopped.
+        """
+        if until is not None and until < self._now:
+            raise SchedulingError(
+                f"cannot run until {until}: clock is already at {self._now}")
+        while self._queue:
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now
+
+    def run_until_complete(self, process: Process,
+                           limit: Optional[float] = None) -> Any:
+        """Run until ``process`` finishes and return its value.
+
+        ``limit`` bounds the simulated time; exceeding it raises
+        :class:`SimulationError` (useful to catch livelocks in protocol code).
+        """
+        while not process.triggered:
+            if not self._queue:
+                raise SimulationError(
+                    f"deadlock: {process!r} never finished and no events remain")
+            if limit is not None and self._queue[0][0] > limit:
+                raise SimulationError(
+                    f"time limit {limit} exceeded while waiting for {process!r}")
+            self.step()
+        if not process.ok:
+            raise process.value
+        return process.value
+
+    def peek(self) -> float:
+        """Return the time of the next event, or ``float('inf')`` if none."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    @property
+    def queued_events(self) -> int:
+        """Number of events currently waiting in the queue."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<Simulator t={self._now:.3f}ms queue={len(self._queue)}>"

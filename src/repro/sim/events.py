@@ -1,0 +1,216 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+An :class:`Event` is the unit of coordination between simulated processes and
+the :class:`~repro.sim.engine.Simulator`.  Processes *yield* events; the
+simulator resumes the process when the event fires.  Events fire either
+because simulated time reached them (:class:`Timeout`), because another
+process triggered them explicitly (:meth:`Event.succeed` /
+:meth:`Event.fail`), or because a composite condition was satisfied
+(:class:`AllOf`, :class:`AnyOf`).
+
+The design follows the classic SimPy shape but is intentionally minimal: it
+only contains what the replicated-database simulator needs, and it is fully
+deterministic — ties in simulated time are broken by a monotonically
+increasing sequence number assigned by the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+
+from .errors import EventAlreadyTriggered
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .engine import Simulator
+
+
+#: Sentinel used for "not yet triggered" values.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*.  It becomes *triggered* when either
+    :meth:`succeed` or :meth:`fail` is called, at which point it is placed on
+    the simulator's queue and will be *processed* (its callbacks run) at the
+    current simulation time.  Each callback receives the event itself.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not be processed yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def defused(self) -> bool:
+        """True if a failure of this event has been handled somewhere.
+
+        The simulator raises failures of events that nobody handled (they are
+        almost always programming errors); handlers mark the event as defused
+        to signal that the failure was consumed.
+        """
+        return self._defused
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the simulator does not raise it."""
+        self._defused = True
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded, False if it failed.
+
+        Only meaningful once :attr:`triggered` is True.
+        """
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The value the event carries (or the exception if it failed)."""
+        if self._value is _PENDING:
+            raise AttributeError("value of a pending event is not available")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise EventAlreadyTriggered(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception will be re-raised inside any process waiting on the
+        event.
+        """
+        if self.triggered:
+            raise EventAlreadyTriggered(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self)
+        return self
+
+    # -- callback management ----------------------------------------------
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Attach ``callback`` to run when the event is processed.
+
+        If the event has already been processed the callback runs
+        immediately; this keeps waiting-on-old-events race free.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay of simulated time."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay=delay)
+
+
+class ConditionValue:
+    """Mapping-like container with the values of the events of a condition."""
+
+    def __init__(self, events: Iterable[Event]) -> None:
+        self.events = [event for event in events if event.processed]
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def values(self) -> List[Any]:
+        """Return the payload values of all triggered events, in order."""
+        return [event.value for event in self.events]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ConditionValue({self.events!r})"
+
+
+class Condition(Event):
+    """Composite event that fires when ``evaluate`` says it should.
+
+    ``evaluate(events, triggered_count)`` must return True once the condition
+    holds.  The two concrete conditions used by the library are
+    :class:`AllOf` and :class:`AnyOf`.
+    """
+
+    def __init__(self, sim: "Simulator", evaluate, events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.sim is not sim:
+                raise ValueError("all events of a condition must share a simulator")
+
+        if not self._events:
+            self.succeed(ConditionValue(self._events))
+            return
+
+        for event in self._events:
+            event.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(ConditionValue(self._events))
+
+
+class AllOf(Condition):
+    """Fires once every constituent event has fired."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, lambda events, count: count >= len(events), events)
+
+
+class AnyOf(Condition):
+    """Fires as soon as any constituent event has fired."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, lambda events, count: count >= 1, events)

@@ -1,0 +1,192 @@
+"""Measurement collection for simulation runs.
+
+The experiments of the paper report three kinds of quantities:
+
+* **response times** (Fig. 9's Y axis) — collected per committed transaction,
+  summarised by mean / percentiles;
+* **rates** (load actually achieved, abort rate) — counters divided by the
+  measured interval;
+* **resource utilisation** — to sanity-check that the simulated system is in
+  the intended operating region (disks saturating before CPUs, etc.).
+
+:class:`Tally` accumulates scalar observations, :class:`Counter` counts
+occurrences, and :class:`Monitor` groups them per run with warm-up handling so
+that the transient at the start of a run does not bias the steady-state
+measurements.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+
+class Tally:
+    """Accumulates scalar observations and computes summary statistics."""
+
+    def __init__(self, name: str = "tally") -> None:
+        self.name = name
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._values.append(float(value))
+
+    def extend(self, values: Sequence[float]) -> None:
+        """Record many observations at once."""
+        for value in values:
+            self.observe(value)
+
+    @property
+    def count(self) -> int:
+        """Number of observations recorded."""
+        return len(self._values)
+
+    @property
+    def values(self) -> List[float]:
+        """A copy of all recorded observations, in arrival order."""
+        return list(self._values)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0.0 if empty)."""
+        if not self._values:
+            return 0.0
+        return sum(self._values) / len(self._values)
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (0.0 for fewer than two observations)."""
+        n = len(self._values)
+        if n < 2:
+            return 0.0
+        mean = self.mean
+        return sum((value - mean) ** 2 for value in self._values) / (n - 1)
+
+    @property
+    def stdev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation (0.0 if empty)."""
+        return min(self._values) if self._values else 0.0
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation (0.0 if empty)."""
+        return max(self._values) if self._values else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Return the ``fraction`` percentile using linear interpolation."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = fraction * (len(ordered) - 1)
+        lower = int(math.floor(position))
+        upper = int(math.ceil(position))
+        if lower == upper:
+            return ordered[lower]
+        weight = position - lower
+        return ordered[lower] * (1 - weight) + ordered[upper] * weight
+
+    def summary(self) -> Dict[str, float]:
+        """Return a dictionary of the main statistics."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": self.minimum,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+            "max": self.maximum,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<Tally {self.name!r} n={self.count} mean={self.mean:.3f}>"
+
+
+class Counter:
+    """A named integer counter."""
+
+    def __init__(self, name: str = "counter") -> None:
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self.value += amount
+
+    def rate(self, interval: float) -> float:
+        """Counter value divided by ``interval`` (guarding the zero case)."""
+        if interval <= 0:
+            return 0.0
+        return self.value / interval
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<Counter {self.name!r} value={self.value}>"
+
+
+class Monitor:
+    """Groups tallies and counters for one simulation run.
+
+    ``warmup`` is a simulated-time threshold: observations recorded before it
+    are discarded, which removes the initial transient from steady-state
+    statistics (standard practice for closed-loop simulations like Fig. 9).
+    """
+
+    def __init__(self, warmup: float = 0.0) -> None:
+        self.warmup = warmup
+        self._tallies: Dict[str, Tally] = {}
+        self._counters: Dict[str, Counter] = {}
+        self.started_at: Optional[float] = None
+        self.stopped_at: Optional[float] = None
+
+    def tally(self, name: str) -> Tally:
+        """Return (creating if needed) the tally called ``name``."""
+        if name not in self._tallies:
+            self._tallies[name] = Tally(name)
+        return self._tallies[name]
+
+    def counter(self, name: str) -> Counter:
+        """Return (creating if needed) the counter called ``name``."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def observe(self, name: str, value: float, at_time: float) -> None:
+        """Record ``value`` into tally ``name`` unless still in warm-up."""
+        if at_time >= self.warmup:
+            self.tally(name).observe(value)
+
+    def count(self, name: str, at_time: float, amount: int = 1) -> None:
+        """Increment counter ``name`` unless still in warm-up."""
+        if at_time >= self.warmup:
+            self.counter(name).increment(amount)
+
+    @property
+    def measured_interval(self) -> float:
+        """Length of the measured (post warm-up) interval in simulated time."""
+        if self.stopped_at is None:
+            return 0.0
+        start = max(self.warmup, self.started_at or 0.0)
+        return max(0.0, self.stopped_at - start)
+
+    def throughput(self, counter_name: str) -> float:
+        """Events per millisecond for counter ``counter_name``."""
+        return self.counter(counter_name).rate(self.measured_interval)
+
+    def report(self) -> Dict[str, Dict[str, float]]:
+        """Summaries of every tally plus raw counter values."""
+        report: Dict[str, Dict[str, float]] = {}
+        for name, tally in self._tallies.items():
+            report[name] = tally.summary()
+        for name, counter in self._counters.items():
+            report[f"counter:{name}"] = {"value": float(counter.value)}
+        return report

@@ -1,0 +1,222 @@
+"""Queued resources and inter-process channels for the simulation kernel.
+
+Three primitives cover everything the replicated-database model needs:
+
+* :class:`Resource` — a server (or pool of identical servers) with a FIFO
+  request queue.  CPUs and disks of a database server are resources.
+* :class:`Store` — an unbounded FIFO buffer of items with blocking ``get``.
+  Network endpoints and intra-server mailboxes are stores.
+* :class:`Gate` — a level-triggered condition processes can wait on
+  (e.g. "the commit record of transaction *t* has reached stable storage").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional, TYPE_CHECKING
+
+from .errors import SimulationError
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .engine import Simulator
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource` slot."""
+
+    def __init__(self, sim: "Simulator", resource: "Resource") -> None:
+        super().__init__(sim)
+        self.resource = resource
+
+
+class Resource:
+    """A FIFO resource with a fixed number of identical slots.
+
+    Usage inside a process::
+
+        request = cpu.request()
+        yield request
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            cpu.release(request)
+
+    The :meth:`use` helper wraps exactly that pattern.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1,
+                 name: Optional[str] = None) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name or "resource"
+        self._users: List[Request] = []
+        self._waiting: Deque[Request] = deque()
+        #: Total number of requests ever granted (for utilisation stats).
+        self.granted_count = 0
+        #: Accumulated (simulated) busy time across all slots.
+        self.busy_time = 0.0
+        self._grant_times: dict = {}
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    # -- request / release -----------------------------------------------------
+    def request(self) -> Request:
+        """Ask for a slot; the returned event fires when the slot is granted."""
+        request = Request(self.sim, self)
+        if len(self._users) < self.capacity:
+            self._grant(request)
+        else:
+            self._waiting.append(request)
+        return request
+
+    def release(self, request: Request) -> None:
+        """Give back a previously granted slot."""
+        if request in self._users:
+            self._users.remove(request)
+            granted_at = self._grant_times.pop(request, self.sim.now)
+            self.busy_time += self.sim.now - granted_at
+        elif request in self._waiting:
+            self._waiting.remove(request)
+            return
+        else:
+            raise SimulationError(
+                f"release of a request not held on {self.name!r}")
+        if self._waiting and len(self._users) < self.capacity:
+            self._grant(self._waiting.popleft())
+
+    def use(self, duration: float):
+        """Generator helper: hold one slot for ``duration`` milliseconds.
+
+        Yield from it inside a process::
+
+            yield from disk.use(8.0)
+        """
+        request = self.request()
+        yield request
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release(request)
+
+    def cancel_all(self) -> None:
+        """Drop every waiting request and forget current users.
+
+        Used when the server owning the resource crashes: in-flight disk and
+        CPU operations simply vanish with the server.
+        """
+        self._waiting.clear()
+        self._users.clear()
+        self._grant_times.clear()
+
+    def _grant(self, request: Request) -> None:
+        self._users.append(request)
+        self._grant_times[request] = self.sim.now
+        self.granted_count += 1
+        request.succeed(request)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"<Resource {self.name!r} {self.in_use}/{self.capacity} busy,"
+                f" {self.queue_length} queued>")
+
+
+class Store:
+    """Unbounded FIFO channel of items with blocking ``get``."""
+
+    def __init__(self, sim: "Simulator", name: Optional[str] = None) -> None:
+        self.sim = sim
+        self.name = name or "store"
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        #: Count of items ever put, for statistics.
+        self.put_count = 0
+
+    def put(self, item: Any) -> None:
+        """Append ``item``; wakes the oldest waiting getter, if any."""
+        self.put_count += 1
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next available item."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def clear(self) -> None:
+        """Drop all buffered items and abandon all waiting getters."""
+        self._items.clear()
+        self._getters.clear()
+
+    @property
+    def pending_items(self) -> int:
+        """Number of items buffered and not yet taken."""
+        return len(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<Store {self.name!r} items={len(self._items)}>"
+
+
+class Gate:
+    """A level-triggered condition.
+
+    Processes wait on the gate with ``yield gate.wait()``; once
+    :meth:`open` is called, all current and future waiters pass immediately
+    until :meth:`close` resets the gate.
+    """
+
+    def __init__(self, sim: "Simulator", opened: bool = False,
+                 name: Optional[str] = None) -> None:
+        self.sim = sim
+        self.name = name or "gate"
+        self._opened = opened
+        self._waiters: List[Event] = []
+
+    @property
+    def is_open(self) -> bool:
+        """Whether waiters currently pass without blocking."""
+        return self._opened
+
+    def wait(self) -> Event:
+        """Return an event that fires when the gate is (or becomes) open."""
+        event = Event(self.sim)
+        if self._opened:
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def open(self, value: Any = None) -> None:
+        """Open the gate and release every waiter."""
+        self._opened = True
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter.succeed(value)
+
+    def close(self) -> None:
+        """Close the gate; subsequent waiters block until the next open()."""
+        self._opened = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "open" if self._opened else "closed"
+        return f"<Gate {self.name!r} {state} waiters={len(self._waiters)}>"

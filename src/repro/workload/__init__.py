@@ -1,0 +1,13 @@
+"""Workload model: Table 4 parameters, transaction generation and clients."""
+
+from .clients import ClosedLoopClientPool, OpenLoopClientPool
+from .generator import WorkloadGenerator
+from .params import PAPER_PARAMETERS, SimulationParameters
+
+__all__ = [
+    "SimulationParameters",
+    "PAPER_PARAMETERS",
+    "WorkloadGenerator",
+    "OpenLoopClientPool",
+    "ClosedLoopClientPool",
+]

@@ -1,0 +1,105 @@
+"""Tests of the execution audit and durability checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (SafetyAudit, SafetyLevel, classify_results,
+                        committed_state_of, is_transaction_lost,
+                        transaction_fate, weakest_guarantee)
+from repro.replication import TransactionResult
+from tests.conftest import build_cluster
+
+
+def run_one(cluster, program, server="s1", until=3_000.0):
+    waiter = cluster.run_transaction(program, server=server)
+    cluster.run(until=cluster.sim.now + until)
+    return waiter.value
+
+
+def make_result(**overrides):
+    defaults = dict(txn_id="t", committed=True, delegate="s1",
+                    submitted_at=0.0, responded_at=10.0)
+    defaults.update(overrides)
+    return TransactionResult(**defaults)
+
+
+def test_classify_results_histogram_and_weakest():
+    results = [
+        make_result(txn_id="a", delivered_to_group=True),
+        make_result(txn_id="b", delivered_to_group=True, logged_on_delegate=True),
+        make_result(txn_id="c", committed=False),
+        make_result(txn_id="d", logged_on_delegate=True),
+    ]
+    histogram = classify_results(results)
+    assert histogram == {SafetyLevel.GROUP_SAFE: 1,
+                         SafetyLevel.GROUP_ONE_SAFE: 1,
+                         SafetyLevel.ONE_SAFE: 1}
+    assert weakest_guarantee(results) is SafetyLevel.ONE_SAFE
+    assert weakest_guarantee([make_result(committed=False)]) is None
+
+
+def test_transaction_fate_reflects_cluster_state():
+    cluster = build_cluster("group-safe")
+    result = run_one(cluster, cluster.workload.update_only_program(3))
+    fate = transaction_fate(cluster, result.txn_id)
+    assert set(fate.committed_on) == {"s1", "s2", "s3"}
+    assert fate.surviving_servers == ["s1", "s2", "s3"]
+    assert not fate.is_lost
+    assert fate.is_durable_everywhere
+    assert not is_transaction_lost(cluster, result.txn_id)
+
+
+def test_transaction_fate_detects_loss_after_catastrophe():
+    cluster = build_cluster("group-safe")
+    for name in ("s2", "s3"):
+        cluster.replica(name).processing_gate.close()
+    result = run_one(cluster, cluster.workload.update_only_program(3),
+                     until=200.0)
+    cluster.crash_all()
+    cluster.run(until=cluster.sim.now + 10.0)
+    for name in ("s2", "s3"):
+        cluster.replica(name).processing_gate.open()
+        cluster.recover_server(name)
+    cluster.run(until=cluster.sim.now + 2_000.0)
+    fate = transaction_fate(cluster, result.txn_id)
+    assert fate.is_lost
+    assert "s1" not in fate.surviving_servers
+
+
+def test_committed_state_of_lists_per_server_commits():
+    cluster = build_cluster("group-safe")
+    result = run_one(cluster, cluster.workload.update_only_program(2))
+    state = committed_state_of(cluster)
+    assert state["s1"] == [result.txn_id]
+    assert state["s2"] == [result.txn_id]
+
+
+def test_safety_audit_report_on_healthy_run():
+    cluster = build_cluster("group-safe")
+    results = [run_one(cluster, cluster.workload.update_only_program(2))
+               for _ in range(3)]
+    cluster.run(until=cluster.sim.now + 2_000.0)
+    audit = SafetyAudit(cluster)
+    report = audit.report(results)
+    assert report.confirmed_transactions == 3
+    assert not report.transaction_lost
+    assert report.consistent
+    assert report.serializable
+    assert report.guarantee_histogram.get(SafetyLevel.GROUP_SAFE) == 3
+
+
+def test_safety_audit_flags_divergence_between_replicas():
+    cluster = build_cluster("group-safe")
+    # Manufacture divergence directly in the copies (bypassing the protocol).
+    cluster.database("s1").items.get("item-1").install("rogue", "t-x", 99)
+    audit = SafetyAudit(cluster)
+    assert "item-1" in audit.divergent_items()
+
+
+def test_safety_audit_divergence_ignores_crashed_servers():
+    cluster = build_cluster("group-safe")
+    cluster.database("s3").items.get("item-1").install("rogue", "t-x", 99)
+    cluster.crash_server("s3")
+    audit = SafetyAudit(cluster)
+    assert audit.divergent_items() == []

@@ -1,0 +1,72 @@
+"""Tests of the Sect. 7 reliability / scaling analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (acid_violation_probability, group_failure_probability,
+                        lazy_conflict_probability,
+                        pairwise_conflict_probability, scaling_comparison)
+
+
+def test_group_failure_probability_bounds_and_monotonicity():
+    assert group_failure_probability(3, 0.0) == 0.0
+    assert group_failure_probability(3, 1.0) == pytest.approx(1.0)
+    # More servers (same per-server unavailability) -> less likely quorum loss.
+    values = [group_failure_probability(n, 0.05) for n in (3, 5, 7, 9, 11)]
+    assert all(later < earlier for earlier, later in zip(values, values[1:]))
+    assert all(0.0 <= value <= 1.0 for value in values)
+
+
+def test_group_failure_probability_simple_case():
+    # n=3, quorum=2: the group fails if 2 or 3 servers are down.
+    p = 0.1
+    expected = 3 * p**2 * (1 - p) + p**3
+    assert group_failure_probability(3, p) == pytest.approx(expected)
+
+
+def test_group_failure_probability_validation():
+    with pytest.raises(ValueError):
+        group_failure_probability(0, 0.1)
+    with pytest.raises(ValueError):
+        group_failure_probability(3, 1.5)
+
+
+def test_pairwise_conflict_probability_behaviour():
+    assert pairwise_conflict_probability(0, 1000) == 0.0
+    small = pairwise_conflict_probability(5, 10_000)
+    large = pairwise_conflict_probability(10, 10_000)
+    assert 0.0 < small < large < 1.0
+    with pytest.raises(ValueError):
+        pairwise_conflict_probability(5, 0)
+
+
+def test_lazy_conflict_probability_grows_with_server_count():
+    values = [lazy_conflict_probability(n, per_server_tps=30.0 / n,
+                                        propagation_delay_ms=250.0,
+                                        writes_per_transaction=7.5,
+                                        item_count=10_000)
+              for n in (2, 4, 8, 16)]
+    assert all(later > earlier for earlier, later in zip(values, values[1:]))
+    assert lazy_conflict_probability(1, 30.0, 250.0, 7.5, 10_000) == 0.0
+
+
+def test_acid_violation_probability_dispatch():
+    lazy = acid_violation_probability("1-safe", 9)
+    group = acid_violation_probability("group-safe", 9)
+    assert 0.0 <= lazy <= 1.0 and 0.0 <= group <= 1.0
+    assert acid_violation_probability("2-safe", 9) == 0.0
+    assert acid_violation_probability("group-1-safe", 9) == group
+    with pytest.raises(ValueError):
+        acid_violation_probability("nonsense", 9)
+
+
+def test_scaling_comparison_reproduces_the_papers_argument():
+    points = scaling_comparison([3, 5, 7, 9, 11, 13, 15])
+    lazy_curve = [point.lazy_violation_probability for point in points]
+    group_curve = [point.group_safe_violation_probability for point in points]
+    # Lazy gets worse with more servers, group-safe gets better.
+    assert all(b >= a for a, b in zip(lazy_curve, lazy_curve[1:]))
+    assert all(b <= a for a, b in zip(group_curve, group_curve[1:]))
+    # For large enough groups group-safe is the safer choice.
+    assert points[-1].group_safe_wins

@@ -1,0 +1,164 @@
+"""Tests of the buffer pool: hit ratio, write paths, back-pressure, flusher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import BufferPool
+from repro.network import Node
+from repro.sim import Simulator
+
+
+def make_buffer(sim, **kwargs):
+    node = Node(sim, "s1")
+    defaults = dict(hit_ratio=0.2, read_time_low=8.0, read_time_high=8.0,
+                    write_time_low=8.0, write_time_high=8.0)
+    defaults.update(kwargs)
+    return node, BufferPool(sim, node, **defaults)
+
+
+def test_read_miss_uses_disk_and_hit_does_not():
+    sim = Simulator(seed=1)
+    node, buffer = make_buffer(sim, hit_ratio=0.0)
+
+    def reader():
+        yield from buffer.read_item("x")
+
+    node.spawn(reader())
+    sim.run()
+    assert buffer.read_misses == 1 and buffer.read_hits == 0
+    assert node.disk.busy_time == pytest.approx(8.0)
+
+    sim2 = Simulator(seed=1)
+    node2, buffer2 = make_buffer(sim2, hit_ratio=1.0)
+
+    def reader2():
+        yield from buffer2.read_item("x")
+
+    node2.spawn(reader2())
+    sim2.run()
+    assert buffer2.read_hits == 1 and buffer2.read_misses == 0
+    assert node2.disk.busy_time == 0.0
+
+
+def test_hit_ratio_statistics_converge():
+    sim = Simulator(seed=3)
+    node, buffer = make_buffer(sim, hit_ratio=0.2)
+
+    def reader():
+        for _ in range(500):
+            yield from buffer.read_item("x")
+
+    node.spawn(reader())
+    sim.run()
+    ratio = buffer.read_hits / (buffer.read_hits + buffer.read_misses)
+    assert 0.12 < ratio < 0.28
+
+
+def test_sync_write_miss_hits_disk():
+    sim = Simulator(seed=2)
+    node, buffer = make_buffer(sim, hit_ratio=0.0)
+
+    def writer():
+        yield from buffer.write_item_sync("x")
+
+    node.spawn(writer())
+    sim.run()
+    assert buffer.sync_writes == 1
+    assert node.disk.busy_time == pytest.approx(8.0)
+
+
+def test_async_write_marks_dirty_without_disk_time():
+    sim = Simulator()
+    node, buffer = make_buffer(sim)
+    buffer.write_item_async("x")
+    buffer.write_item_async("y")
+    assert buffer.dirty_count == 2
+    assert node.disk.busy_time == 0.0
+
+
+def test_write_behind_flusher_drains_dirty_items():
+    sim = Simulator()
+    node, buffer = make_buffer(sim)
+    for index in range(5):
+        buffer.write_item_async(f"item-{index}")
+    buffer.start_write_behind(interval=10.0)
+    sim.run(until=200.0)
+    assert buffer.dirty_count == 0
+    assert buffer.flushed_pages == 5
+    assert node.disk.busy_time > 0.0
+
+
+def test_background_write_factor_reduces_disk_time():
+    sim = Simulator(seed=5)
+    node, buffer = make_buffer(sim, background_write_factor=0.5)
+    buffer.write_item_async("x")
+
+    def drain():
+        yield from buffer.flush_some()
+
+    node.spawn(drain())
+    sim.run()
+    assert node.disk.busy_time == pytest.approx(4.0)
+
+
+def test_backpressure_gate_closes_and_reopens():
+    sim = Simulator()
+    node, buffer = make_buffer(sim, max_dirty=4, low_watermark=0.5)
+    for index in range(4):
+        buffer.write_item_async(f"item-{index}")
+    assert not buffer.has_space
+    assert buffer.throttle_events == 1
+    blocked = []
+
+    def producer():
+        yield buffer.wait_for_space()
+        blocked.append(sim.now)
+
+    def flusher():
+        yield from buffer.flush_some()
+
+    node.spawn(producer())
+    node.spawn(flusher())
+    sim.run()
+    assert blocked                      # the producer eventually unblocked
+    assert buffer.has_space
+
+
+def test_wait_for_space_immediate_when_unbounded():
+    sim = Simulator()
+    node, buffer = make_buffer(sim)      # max_dirty=None
+    for index in range(1000):
+        buffer.write_item_async(f"item-{index}")
+    assert buffer.has_space
+    passed = []
+
+    def producer():
+        yield buffer.wait_for_space()
+        passed.append(sim.now)
+
+    node.spawn(producer())
+    sim.run()
+    assert passed == [0.0]
+
+
+def test_lose_volatile_clears_dirty_and_reopens_gate():
+    sim = Simulator()
+    node, buffer = make_buffer(sim, max_dirty=2)
+    buffer.write_item_async("a")
+    buffer.write_item_async("b")
+    assert not buffer.has_space
+    buffer.lose_volatile()
+    assert buffer.dirty_count == 0
+    assert buffer.has_space
+
+
+def test_invalid_parameters_rejected():
+    sim = Simulator()
+    node = Node(sim, "s1")
+    with pytest.raises(ValueError):
+        BufferPool(sim, node, hit_ratio=1.5)
+    with pytest.raises(ValueError):
+        BufferPool(sim, node, max_dirty=0)
+    with pytest.raises(ValueError):
+        BufferPool(sim, node, background_write_factor=0.0)

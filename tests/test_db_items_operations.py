@@ -1,0 +1,87 @@
+"""Tests of the logical item store and transaction programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import (Item, ItemStore, Operation, OperationType,
+                      TransactionProgram, make_program, read, write)
+
+
+def test_item_install_bumps_version_and_keeps_history():
+    item = Item(key="x", value=0)
+    item.install("v1", writer="t1", commit_order=1)
+    item.install("v2", writer="t2", commit_order=2)
+    assert item.value == "v2"
+    assert item.version == 2
+    assert item.writer == "t2"
+    assert [version.value for version in item.history] == [0, "v1"]
+
+
+def test_item_install_follows_thomas_write_rule():
+    item = Item(key="x", value=0)
+    item.install("new", writer="t2", commit_order=5)
+    item.install("stale", writer="t1", commit_order=3)   # older commit: skipped
+    assert item.value == "new"
+    assert item.version == 1
+
+
+def test_item_store_creation_and_lookup():
+    store = ItemStore(item_count=10)
+    assert len(store) == 10
+    assert "item-0" in store and "item-9" in store
+    assert "item-10" not in store
+    with pytest.raises(KeyError):
+        store.get("missing")
+    with pytest.raises(ValueError):
+        store.create("item-0")
+
+
+def test_item_store_snapshot_and_restore():
+    store = ItemStore(item_count=3)
+    store.get("item-1").install("written", writer="t1", commit_order=1)
+    snapshot = store.snapshot()
+    store.get("item-1").install("changed", writer="t2", commit_order=2)
+    store.restore(snapshot)
+    assert store.get("item-1").value == "written"
+    assert store.get("item-1").version == 1
+    assert store.versions()["item-2"] == 0
+
+
+def test_operation_constructors_and_flags():
+    r = read("x")
+    w = write("y", 42)
+    assert r.is_read and not r.is_write
+    assert w.is_write and w.value == 42
+    assert r.op_type is OperationType.READ
+
+
+def test_program_structure_queries():
+    program = TransactionProgram(operations=(
+        read("a"), write("b", 1), read("a"), write("b", 2), write("c", 3)))
+    assert program.length == 5
+    assert program.read_keys == ["a"]
+    assert program.write_keys == ["b", "c"]
+    assert not program.is_read_only
+
+
+def test_program_requires_operations_and_unique_ids():
+    with pytest.raises(ValueError):
+        TransactionProgram(operations=())
+    first = TransactionProgram(operations=(read("a"),))
+    second = TransactionProgram(operations=(read("a"),))
+    assert first.program_id != second.program_id
+
+
+def test_read_only_program_detection():
+    program = TransactionProgram(operations=(read("a"), read("b")))
+    assert program.is_read_only
+
+
+def test_make_program_compact_spec():
+    program = make_program([("r", "x"), ("w", "y", 9)], client="tester")
+    assert program.operations[0].is_read
+    assert program.operations[1].value == 9
+    assert program.client == "tester"
+    with pytest.raises(ValueError):
+        make_program([("q", "x")])

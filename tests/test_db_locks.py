@@ -1,0 +1,108 @@
+"""Tests of the two-phase-locking lock manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import DeadlockError, LockManager, LockMode
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def locks(sim):
+    return LockManager(sim)
+
+
+def test_shared_locks_are_compatible(sim, locks):
+    first = locks.acquire("t1", "x", LockMode.SHARED)
+    second = locks.acquire("t2", "x", LockMode.SHARED)
+    assert first.triggered and second.triggered
+    assert locks.holds("t1", "x", LockMode.SHARED)
+    assert locks.holds("t2", "x", LockMode.SHARED)
+
+
+def test_exclusive_blocks_other_requests(sim, locks):
+    holder = locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+    reader = locks.acquire("t2", "x", LockMode.SHARED)
+    writer = locks.acquire("t3", "x", LockMode.EXCLUSIVE)
+    assert holder.triggered
+    assert not reader.triggered and not writer.triggered
+    assert locks.waiting("x") == ["t2", "t3"]
+
+
+def test_release_all_grants_waiters_in_fifo_order(sim, locks):
+    locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+    second = locks.acquire("t2", "x", LockMode.EXCLUSIVE)
+    third = locks.acquire("t3", "x", LockMode.EXCLUSIVE)
+    locks.release_all("t1")
+    assert second.triggered and not third.triggered
+    locks.release_all("t2")
+    assert third.triggered
+
+
+def test_shared_holder_can_upgrade_when_alone(sim, locks):
+    locks.acquire("t1", "x", LockMode.SHARED)
+    upgrade = locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+    assert upgrade.triggered
+    assert locks.holds("t1", "x", LockMode.EXCLUSIVE)
+
+
+def test_exclusive_holder_rerequests_are_granted(sim, locks):
+    locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+    again = locks.acquire("t1", "x", LockMode.SHARED)
+    assert again.triggered
+
+
+def test_deadlock_detected_and_youngest_aborted(sim, locks):
+    # t1 holds x, t2 holds y, then each requests the other's item.
+    locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+    locks.acquire("t2", "y", LockMode.EXCLUSIVE)
+    request_t1 = locks.acquire("t1", "y", LockMode.EXCLUSIVE)
+    request_t2 = locks.acquire("t2", "x", LockMode.EXCLUSIVE)
+    # The youngest participant (t2, it arrived later) is chosen as the victim.
+    assert request_t2.triggered and not request_t2.ok
+    assert isinstance(request_t2.value, DeadlockError)
+    request_t2.defuse()
+    assert not request_t1.triggered
+    assert locks.deadlock_count == 1
+    # Once the victim releases everything, t1 gets its lock.
+    locks.release_all("t2")
+    assert request_t1.triggered and request_t1.ok
+
+
+def test_no_false_deadlock_on_plain_contention(sim, locks):
+    locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+    locks.acquire("t2", "x", LockMode.EXCLUSIVE)
+    locks.acquire("t3", "x", LockMode.SHARED)
+    assert locks.deadlock_count == 0
+
+
+def test_release_all_removes_queued_requests(sim, locks):
+    locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+    locks.acquire("t2", "x", LockMode.EXCLUSIVE)
+    locks.release_all("t2")
+    assert locks.waiting("x") == []
+    locks.release_all("t1")
+    assert locks.holders("x") == {}
+
+
+def test_holders_and_waiting_reporting(sim, locks):
+    locks.acquire("t1", "x", LockMode.SHARED)
+    locks.acquire("t2", "x", LockMode.SHARED)
+    locks.acquire("t3", "x", LockMode.EXCLUSIVE)
+    holders = locks.holders("x")
+    assert holders == {"t1": LockMode.SHARED, "t2": LockMode.SHARED}
+    assert locks.waiting("x") == ["t3"]
+    assert locks.holders("unknown") == {}
+    assert locks.waiting("unknown") == []
+
+
+def test_fifo_fairness_shared_behind_exclusive(sim, locks):
+    locks.acquire("t1", "x", LockMode.SHARED)
+    blocked_writer = locks.acquire("t2", "x", LockMode.EXCLUSIVE)
+    late_reader = locks.acquire("t3", "x", LockMode.SHARED)
+    # The late reader must not overtake the queued writer.
+    assert not blocked_writer.triggered
+    assert not late_reader.triggered
+    locks.release_all("t1")
+    assert blocked_writer.triggered

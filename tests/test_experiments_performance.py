@@ -1,0 +1,86 @@
+"""Tests of the Fig. 9 harness and the Sect. 7 scaling experiment.
+
+These use shortened durations and (for the integration check of the full
+sweep machinery) the real Table 4 topology at a single load point, so they
+stay fast while still exercising the exact code path the benchmarks run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (analytic_scaling, conflicting_updates_run,
+                               crossover_load, curves, figure9_sweep,
+                               render_figure9, render_scaling, run_load_point)
+from repro.experiments.figure9 import FIGURE9_LOADS, FIGURE9_TECHNIQUES, LoadPoint
+from repro.workload import SimulationParameters
+
+
+def test_figure9_constants_match_the_paper():
+    assert FIGURE9_TECHNIQUES == ("group-safe", "group-1-safe", "1-safe")
+    assert FIGURE9_LOADS[0] == 20 and FIGURE9_LOADS[-1] == 40
+
+
+@pytest.fixture(scope="module")
+def single_point():
+    return run_load_point("group-safe", load_tps=25.0,
+                          duration_ms=6_000.0, warmup_ms=1_500.0, seed=4)
+
+
+def test_run_load_point_produces_sane_statistics(single_point):
+    point = single_point
+    assert point.technique == "group-safe"
+    assert point.committed_transactions > 50
+    assert 0.0 <= point.abort_rate < 0.2
+    assert 0.0 < point.mean_response_time_ms < 500.0
+    assert point.p90_response_time_ms >= point.mean_response_time_ms * 0.5
+    # The open-loop pool should achieve roughly the offered load.
+    assert point.achieved_throughput_tps == pytest.approx(25.0, rel=0.35)
+
+
+def test_curves_crossover_and_rendering_helpers():
+    points = [
+        LoadPoint("group-safe", 20, 60.0, 80.0, 0.01, 100, 1, 19.0, 1000.0),
+        LoadPoint("group-safe", 40, 300.0, 400.0, 0.05, 150, 8, 30.0, 1000.0),
+        LoadPoint("1-safe", 20, 130.0, 150.0, 0.0, 100, 0, 19.0, 1000.0),
+        LoadPoint("1-safe", 40, 220.0, 260.0, 0.0, 150, 0, 30.0, 1000.0),
+    ]
+    series = curves(points)
+    assert set(series) == {"group-safe", "1-safe"}
+    assert [p.offered_load_tps for p in series["group-safe"]] == [20, 40]
+    assert crossover_load(points) == 40
+    rendering = render_figure9(points)
+    assert "load (tps)" in rendering and "group-safe" in rendering
+    # No crossover case.
+    flat = [point for point in points if point.offered_load_tps == 20]
+    assert crossover_load(flat) is None
+
+
+def test_figure9_sweep_on_a_reduced_grid_preserves_the_low_load_ordering():
+    points = figure9_sweep(loads=(22.0,), techniques=("group-safe", "1-safe"),
+                           duration_ms=6_000.0, warmup_ms=1_500.0, seed=3)
+    series = curves(points)
+    group_safe = series["group-safe"][0]
+    lazy = series["1-safe"][0]
+    # The paper's low-load ordering: group-safe clearly outperforms lazy.
+    assert group_safe.mean_response_time_ms < lazy.mean_response_time_ms
+
+
+def test_analytic_scaling_and_rendering():
+    points = analytic_scaling(server_counts=(3, 9, 15))
+    assert [point.server_count for point in points] == [3, 9, 15]
+    assert points[-1].group_safe_wins
+    rendering = render_scaling(points)
+    assert "servers" in rendering and "group-safe" in rendering
+
+
+def test_conflicting_updates_diverge_only_under_lazy_replication():
+    lazy = conflicting_updates_run("1-safe", conflicts=6, seed=8)
+    group = conflicting_updates_run("group-safe", conflicts=6, seed=8)
+    # Lazy accepts everything (no conflict handling)...
+    assert lazy.aborted == 0
+    assert lazy.committed == lazy.submitted
+    # ...while certification aborts at least one of each conflicting pair.
+    assert group.aborted >= 1
+    # And the group-based copies never diverge.
+    assert not group.diverged

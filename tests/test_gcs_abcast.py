@@ -1,0 +1,180 @@
+"""Tests of classical (uniform) atomic broadcast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gcs import GroupCommunicationSystem
+from repro.network import Lan, Node
+from repro.sim import Simulator
+
+
+def build_group(member_count=3, seed=7, end_to_end=False, **kwargs):
+    sim = Simulator(seed=seed)
+    lan = Lan(sim)
+    nodes = [lan.attach(Node(sim, f"s{i}")) for i in range(1, member_count + 1)]
+    gcs = GroupCommunicationSystem(sim, lan, end_to_end=end_to_end, **kwargs)
+    gcs.start()
+    return sim, lan, nodes, gcs
+
+
+def attach_consumers(sim, gcs, nodes, delivered, acknowledge=False):
+    def consumer(name):
+        endpoint = gcs.endpoint(name)
+        while True:
+            delivery = yield endpoint.deliveries.get()
+            delivered[name].append(delivery.payload)
+            if acknowledge:
+                endpoint.acknowledge(delivery)
+
+    for node in nodes:
+        if node.is_up:
+            node.spawn(consumer(node.name))
+
+
+def test_all_members_deliver_in_the_same_order():
+    sim, lan, nodes, gcs = build_group()
+    delivered = {node.name: [] for node in nodes}
+    attach_consumers(sim, gcs, nodes, delivered)
+
+    def producer(name, count):
+        endpoint = gcs.endpoint(name)
+        for index in range(count):
+            endpoint.broadcast(f"{name}-m{index}")
+            yield sim.timeout(0.3)
+
+    for node in nodes:
+        node.spawn(producer(node.name, 4))
+    sim.run(until=200.0)
+
+    sequences = list(delivered.values())
+    assert len(sequences[0]) == 12
+    assert sequences[0] == sequences[1] == sequences[2]
+    assert gcs.trace.check_validity()
+    assert gcs.trace.check_integrity()
+    assert gcs.trace.check_total_order()
+    assert gcs.trace.check_uniform_agreement([node.name for node in nodes])
+
+
+def test_sender_delivers_its_own_broadcast():
+    sim, lan, nodes, gcs = build_group()
+    delivered = {node.name: [] for node in nodes}
+    attach_consumers(sim, gcs, nodes, delivered)
+    gcs.endpoint("s2").broadcast("hello")
+    sim.run(until=50.0)
+    assert delivered["s2"] == ["hello"]
+
+
+def test_broadcast_latency_is_sub_millisecond_on_the_paper_lan():
+    sim, lan, nodes, gcs = build_group()
+    arrival_times = []
+
+    def consumer():
+        endpoint = gcs.endpoint("s3")
+        delivery = yield endpoint.deliveries.get()
+        arrival_times.append(delivery.delivered_at)
+
+    nodes[2].spawn(consumer())
+    gcs.endpoint("s1").broadcast("timed")
+    sim.run(until=50.0)
+    assert arrival_times and arrival_times[0] < 2.0    # paper quotes ~1 ms
+
+
+def test_delivery_requires_quorum_of_acknowledgements():
+    # With 2 of 3 members crashed there is no quorum: nothing is delivered.
+    sim, lan, nodes, gcs = build_group()
+    delivered = {node.name: [] for node in nodes}
+    nodes[1].crash()
+    nodes[2].crash()
+    sim.run(until=10.0)
+    attach_consumers(sim, gcs, nodes, delivered)
+    gcs.endpoint("s1").broadcast("lonely")
+    sim.run(until=100.0)
+    assert delivered["s1"] == []
+
+
+def test_uniform_delivery_survives_minority_crash():
+    sim, lan, nodes, gcs = build_group()
+    delivered = {node.name: [] for node in nodes}
+    attach_consumers(sim, gcs, nodes, delivered)
+    gcs.endpoint("s1").broadcast("before-crash")
+    sim.run(until=20.0)
+    nodes[2].crash()
+    sim.run(until=40.0)
+    gcs.endpoint("s1").broadcast("after-crash")
+    sim.run(until=200.0)
+    assert delivered["s1"] == ["before-crash", "after-crash"]
+    assert delivered["s2"] == ["before-crash", "after-crash"]
+
+
+def test_view_change_elects_new_sequencer_and_broadcasts_continue():
+    sim, lan, nodes, gcs = build_group()
+    delivered = {node.name: [] for node in nodes}
+    attach_consumers(sim, gcs, nodes, delivered)
+    gcs.endpoint("s1").broadcast("m1")
+    sim.run(until=20.0)
+    nodes[0].crash()                      # the sequencer crashes
+    sim.run(until=40.0)
+    assert gcs.membership.view.primary == "s2"
+    assert gcs.endpoint("s2").is_sequencer
+    gcs.endpoint("s3").broadcast("m2")
+    gcs.endpoint("s2").broadcast("m3")
+    sim.run(until=300.0)
+    assert delivered["s2"][0] == "m1"
+    assert set(delivered["s2"]) == {"m1", "m2", "m3"}
+    assert delivered["s2"] == delivered["s3"]
+    assert gcs.trace.check_total_order()
+
+
+def test_crash_wipes_undelivered_messages_classical():
+    """Delivered-to-endpoint but unprocessed messages die with the node."""
+    sim, lan, nodes, gcs = build_group()
+    # No consumer on s3: its deliveries stay queued at the endpoint.
+    delivered = {node.name: [] for node in nodes}
+    attach_consumers(sim, gcs, nodes[:2], delivered)
+    gcs.endpoint("s1").broadcast("will-be-lost-on-s3")
+    sim.run(until=20.0)
+    assert gcs.endpoint("s3").deliveries.pending_items == 1
+    nodes[2].crash()
+    assert gcs.endpoint("s3").deliveries.pending_items == 0
+
+
+def test_classical_recovery_uses_state_transfer_not_replay():
+    sim, lan, nodes, gcs = build_group()
+    delivered = {node.name: [] for node in nodes}
+    attach_consumers(sim, gcs, nodes[:2], delivered)
+    gcs.endpoint("s1").checkpoint_provider = lambda: {"state": "from-s1"}
+    gcs.endpoint("s2").checkpoint_provider = lambda: {"state": "from-s2"}
+    gcs.endpoint("s1").broadcast("missed-by-s3")
+    sim.run(until=20.0)
+    nodes[2].crash()
+    sim.run(until=30.0)
+    nodes[2].recover()
+
+    def recovery():
+        checkpoint = yield from gcs.endpoint("s3").recover(rejoin_timeout=20.0)
+        return checkpoint
+
+    process = nodes[2].spawn(recovery())
+    sim.run(until=200.0)
+    assert process.ok
+    # A live member supplied an application checkpoint ...
+    assert process.value in ({"state": "from-s1"}, {"state": "from-s2"})
+    # ... and the missed message is NOT replayed (classical primitive).
+    assert gcs.endpoint("s3").deliveries.pending_items == 0
+
+
+def test_recovery_with_no_survivors_returns_none():
+    sim, lan, nodes, gcs = build_group()
+    for node in nodes:
+        node.crash()
+    sim.run(until=10.0)
+    nodes[1].recover()
+
+    def recovery():
+        checkpoint = yield from gcs.endpoint("s2").recover(rejoin_timeout=5.0)
+        return checkpoint
+
+    process = nodes[1].spawn(recovery())
+    sim.run(until=100.0)
+    assert process.ok and process.value is None

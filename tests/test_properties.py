@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (DeliveredOn, LoggedOn, SafetyLevel, classify,
+                        classify_notification, group_failure_probability,
+                        loss_condition, pairwise_conflict_probability)
+from repro.db import (CommittedTransaction, Item, LockManager, LockMode,
+                      check_one_copy_serializability)
+from repro.sim import RandomStreams, Simulator, Tally
+
+
+# --------------------------------------------------------------------------- sim
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=200))
+def test_tally_statistics_are_consistent(values):
+    tally = Tally()
+    tally.extend(values)
+    slack = 1e-9 * (abs(tally.maximum) + 1.0)      # float accumulation error
+    assert tally.minimum - slack <= tally.mean <= tally.maximum + slack
+    assert tally.percentile(0.0) == tally.minimum
+    assert tally.percentile(1.0) == tally.maximum
+    assert tally.percentile(0.25) <= tally.percentile(0.75) + slack
+    assert tally.count == len(values)
+
+
+@given(st.integers(min_value=0, max_value=2**32),
+       st.text(min_size=1, max_size=20))
+def test_random_streams_reproducible_for_any_seed_and_name(seed, name):
+    first = RandomStreams(seed).uniform(name, 0.0, 1.0)
+    second = RandomStreams(seed).uniform(name, 0.0, 1.0)
+    assert first == second
+    assert 0.0 <= first <= 1.0
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=50.0), min_size=1,
+                max_size=30))
+@settings(max_examples=30, deadline=None)
+def test_simulated_clock_is_monotone_for_any_timeout_set(delays):
+    sim = Simulator()
+    observed = []
+    for delay in delays:
+        sim.timeout(delay).add_callback(lambda event: observed.append(sim.now))
+    sim.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+
+
+# --------------------------------------------------------------------------- db
+@given(st.lists(st.tuples(st.integers(min_value=1, max_value=50),
+                          st.integers(min_value=0, max_value=1000)),
+                min_size=1, max_size=100))
+def test_item_install_converges_to_highest_commit_order(writes):
+    item = Item(key="x", value=0)
+    accepted = 0
+    highest_so_far = 0
+    for order, value in writes:
+        item.install(value, writer=f"t{order}", commit_order=order)
+        if order >= highest_so_far:        # Thomas write rule accepts this one
+            accepted += 1
+            highest_so_far = order
+    max_order = max(order for order, _value in writes)
+    assert item.commit_order == max_order
+    # The surviving value was written at the highest commit order seen.
+    assert item.value in [value for order, value in writes if order == max_order]
+    assert item.version == accepted        # only accepted installs bump versions
+    # Re-installing anything older never changes the value.
+    item.install(999_999, writer="late", commit_order=0)
+    assert item.commit_order == max_order
+
+
+@given(st.lists(st.tuples(st.sampled_from(["t1", "t2", "t3", "t4"]),
+                          st.sampled_from(["a", "b", "c"]),
+                          st.sampled_from([LockMode.SHARED, LockMode.EXCLUSIVE])),
+                max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_lock_manager_never_grants_conflicting_locks(requests):
+    sim = Simulator()
+    locks = LockManager(sim)
+    events = []
+    aborted = set()
+    for owner, key, mode in requests:
+        if owner in aborted:
+            continue
+        event = locks.acquire(owner, key, mode)
+        events.append((owner, event))
+        # A deadlock may abort *any* earlier pending request of any owner;
+        # emulate the owning transactions handling their abort.
+        for victim_owner, victim_event in events:
+            if victim_event.triggered and not victim_event.ok and \
+                    victim_owner not in aborted:
+                victim_event.defuse()
+                aborted.add(victim_owner)
+                locks.release_all(victim_owner)
+    for _owner, event in events:
+        if event.triggered and not event.ok:
+            event.defuse()
+    sim.run()
+    for key in ("a", "b", "c"):
+        holders = locks.holders(key)
+        exclusive = [owner for owner, mode in holders.items()
+                     if mode is LockMode.EXCLUSIVE]
+        if exclusive:
+            assert len(holders) == 1, (
+                f"exclusive holder {exclusive} coexists with {holders}")
+
+
+@given(st.lists(st.tuples(st.integers(min_value=1, max_value=20),
+                          st.lists(st.sampled_from(["x", "y", "z"]),
+                                   max_size=3, unique=True)),
+                min_size=1, max_size=20))
+def test_serial_histories_in_commit_order_are_serializable(spec):
+    """A history whose reads always observe the latest committed versions
+    must pass the one-copy serialisability check."""
+    current_version = {}
+    transactions = []
+    for index, (gap, write_keys) in enumerate(spec):
+        order = index + 1
+        reads = {key: current_version.get(key, 0) for key in write_keys}
+        transactions.append(CommittedTransaction(
+            txn_id=f"t{order}", commit_order=order, read_versions=reads,
+            write_keys=tuple(write_keys)))
+        for key in write_keys:
+            current_version[key] = current_version.get(key, 0) + 1
+    assert check_one_copy_serializability(transactions).serializable
+
+
+# --------------------------------------------------------------------------- core
+@given(st.sampled_from(list(DeliveredOn)), st.sampled_from(list(LoggedOn)))
+def test_classification_is_total_and_consistent(delivered, logged):
+    level = classify(delivered, logged)
+    if level is None:
+        assert delivered is DeliveredOn.ONE and logged is LoggedOn.ALL
+    else:
+        assert level.delivered_on is delivered
+        assert level.logged_on is logged
+
+
+@given(st.booleans(), st.booleans(), st.booleans())
+def test_runtime_classification_never_fails(delivered, logged_delegate, logged_all):
+    level = classify_notification(delivered, logged_delegate, logged_all)
+    assert isinstance(level, SafetyLevel)
+
+
+@given(st.booleans(), st.booleans())
+def test_loss_conditions_compose_as_in_the_paper(group_fails, delegate_crashes):
+    """Group-1-safety is the conjunction of its two constituents: it can lose
+    a transaction only under failure patterns where *both* group-safety and
+    1-safety could lose one, and 2-safety never loses one at all (Table 3)."""
+    group_one = loss_condition(SafetyLevel.GROUP_ONE_SAFE, group_fails,
+                               delegate_crashes)
+    group_only = loss_condition(SafetyLevel.GROUP_SAFE, group_fails,
+                                delegate_crashes)
+    one_only = loss_condition(SafetyLevel.ONE_SAFE, group_fails,
+                              delegate_crashes)
+    assert group_one == (group_only and one_only)
+    assert not loss_condition(SafetyLevel.TWO_SAFE, group_fails,
+                              delegate_crashes)
+    # 0-safety is never safer than 1-safety.
+    assert loss_condition(SafetyLevel.ZERO_SAFE, group_fails,
+                          delegate_crashes) >= one_only
+
+
+@given(st.integers(min_value=1, max_value=25),
+       st.floats(min_value=0.0, max_value=1.0))
+def test_group_failure_probability_is_a_probability(n, p):
+    value = group_failure_probability(n, p)
+    assert 0.0 <= value <= 1.0 + 1e-9
+
+
+@given(st.integers(min_value=2, max_value=30),
+       st.floats(min_value=0.0, max_value=0.5))
+@settings(max_examples=50)
+def test_group_failure_decreases_with_group_size(n, p):
+    smaller = group_failure_probability(n, p)
+    larger = group_failure_probability(n + 2, p)
+    assert larger <= smaller + 1e-9
+
+
+@given(st.floats(min_value=0.0, max_value=50.0),
+       st.integers(min_value=100, max_value=100_000))
+def test_pairwise_conflict_probability_is_a_probability(writes, items):
+    value = pairwise_conflict_probability(writes, items)
+    assert 0.0 <= value <= 1.0

@@ -1,0 +1,186 @@
+"""Tests of resources, stores and gates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Gate, Resource, SimulationError, Simulator, Store
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    resource = Resource(sim, capacity=2)
+    first, second, third = (resource.request() for _ in range(3))
+    assert first.triggered and second.triggered
+    assert not third.triggered
+    assert resource.in_use == 2
+    assert resource.queue_length == 1
+
+
+def test_resource_release_wakes_fifo_waiter():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    completion_order = []
+
+    def worker(name, duration):
+        yield from resource.use(duration)
+        completion_order.append((name, sim.now))
+
+    sim.spawn(worker("a", 5.0))
+    sim.spawn(worker("b", 3.0))
+    sim.spawn(worker("c", 2.0))
+    sim.run()
+    assert completion_order == [("a", 5.0), ("b", 8.0), ("c", 10.0)]
+
+
+def test_resource_parallel_slots():
+    sim = Simulator()
+    resource = Resource(sim, capacity=2)
+    done = []
+
+    def worker(name):
+        yield from resource.use(4.0)
+        done.append((name, sim.now))
+
+    for name in ("a", "b", "c"):
+        sim.spawn(worker(name))
+    sim.run()
+    assert done == [("a", 4.0), ("b", 4.0), ("c", 8.0)]
+
+
+def test_resource_rejects_bad_capacity_and_release():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+    resource = Resource(sim, capacity=1)
+    request = resource.request()
+    resource.release(request)
+    with pytest.raises(SimulationError):
+        resource.release(request)
+
+
+def test_resource_release_of_waiting_request_cancels_it():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    holder = resource.request()
+    waiter = resource.request()
+    resource.release(waiter)      # give up the queued request
+    assert resource.queue_length == 0
+    resource.release(holder)
+    assert resource.in_use == 0
+
+
+def test_resource_busy_time_accounting():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+
+    def worker():
+        yield from resource.use(6.0)
+
+    sim.spawn(worker())
+    sim.run()
+    assert resource.busy_time == pytest.approx(6.0)
+    assert resource.granted_count == 1
+
+
+def test_resource_cancel_all_clears_state():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    resource.request()
+    resource.request()
+    resource.cancel_all()
+    assert resource.in_use == 0
+    assert resource.queue_length == 0
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("a")
+    store.put("b")
+    received = []
+
+    def consumer():
+        for _ in range(2):
+            item = yield store.get()
+            received.append(item)
+
+    sim.spawn(consumer())
+    sim.run()
+    assert received == ["a", "b"]
+
+
+def test_store_blocking_get_wakes_on_put():
+    sim = Simulator()
+    store = Store(sim)
+    received = []
+
+    def consumer():
+        item = yield store.get()
+        received.append((item, sim.now))
+
+    def producer():
+        yield sim.timeout(7.0)
+        store.put("late")
+
+    sim.spawn(consumer())
+    sim.spawn(producer())
+    sim.run()
+    assert received == [("late", 7.0)]
+
+
+def test_store_clear_drops_items_and_getters():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(1)
+    store.clear()
+    assert len(store) == 0
+    assert store.pending_items == 0
+
+
+def test_gate_blocks_until_opened():
+    sim = Simulator()
+    gate = Gate(sim)
+    passed = []
+
+    def waiter(name):
+        yield gate.wait()
+        passed.append((name, sim.now))
+
+    sim.spawn(waiter("a"))
+    sim.spawn(waiter("b"))
+    sim.call_after(5.0, gate.open)
+    sim.run()
+    assert passed == [("a", 5.0), ("b", 5.0)]
+
+
+def test_open_gate_lets_waiters_through_immediately():
+    sim = Simulator()
+    gate = Gate(sim, opened=True)
+    passed = []
+
+    def waiter():
+        yield gate.wait()
+        passed.append(sim.now)
+
+    sim.spawn(waiter())
+    sim.run()
+    assert passed == [0.0]
+
+
+def test_gate_close_blocks_future_waiters():
+    sim = Simulator()
+    gate = Gate(sim, opened=True)
+    gate.close()
+    passed = []
+
+    def waiter():
+        yield gate.wait()
+        passed.append(sim.now)
+
+    sim.spawn(waiter())
+    sim.run(until=10.0)
+    assert passed == []
+    gate.open()
+    sim.run()
+    assert passed == [10.0]

@@ -1,0 +1,106 @@
+"""Tests of the random-stream registry and the measurement helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Counter, Monitor, RandomStreams, Tally
+
+
+def test_streams_are_reproducible_across_instances():
+    first = RandomStreams(42)
+    second = RandomStreams(42)
+    draws_first = [first.uniform("disk", 0, 1) for _ in range(10)]
+    draws_second = [second.uniform("disk", 0, 1) for _ in range(10)]
+    assert draws_first == draws_second
+
+
+def test_streams_differ_across_seeds():
+    assert (RandomStreams(1).uniform("x", 0, 1)
+            != RandomStreams(2).uniform("x", 0, 1))
+
+
+def test_streams_are_independent_per_name():
+    streams = RandomStreams(7)
+    a_before = [streams.uniform("a", 0, 1) for _ in range(3)]
+    # Interleaving draws on another stream must not change stream "a".
+    streams_again = RandomStreams(7)
+    _ = [streams_again.uniform("b", 0, 1) for _ in range(100)]
+    a_after = [streams_again.uniform("a", 0, 1) for _ in range(3)]
+    assert a_before == a_after
+
+
+def test_randint_and_choice_and_bernoulli():
+    streams = RandomStreams(3)
+    values = [streams.randint("len", 10, 20) for _ in range(200)]
+    assert all(10 <= value <= 20 for value in values)
+    population = ["x", "y", "z"]
+    assert streams.choice("pick", population) in population
+    flips = [streams.bernoulli("flip", 0.5) for _ in range(500)]
+    assert 0.3 < sum(flips) / len(flips) < 0.7
+    with pytest.raises(ValueError):
+        streams.bernoulli("flip", 1.5)
+
+
+def test_stream_names_recorded():
+    streams = RandomStreams(0)
+    streams.uniform("one", 0, 1)
+    streams.randint("two", 1, 2)
+    assert set(streams.stream_names()) == {"one", "two"}
+
+
+def test_tally_statistics():
+    tally = Tally("rt")
+    tally.extend([10.0, 20.0, 30.0, 40.0])
+    assert tally.count == 4
+    assert tally.mean == 25.0
+    assert tally.minimum == 10.0
+    assert tally.maximum == 40.0
+    assert tally.percentile(0.5) == 25.0
+    assert tally.percentile(0.0) == 10.0
+    assert tally.percentile(1.0) == 40.0
+    assert tally.stdev == pytest.approx(12.909944, rel=1e-5)
+    summary = tally.summary()
+    assert summary["count"] == 4.0
+
+
+def test_tally_edge_cases():
+    tally = Tally()
+    assert tally.mean == 0.0
+    assert tally.percentile(0.5) == 0.0
+    tally.observe(5.0)
+    assert tally.variance == 0.0
+    with pytest.raises(ValueError):
+        tally.percentile(2.0)
+
+
+def test_counter_and_rate():
+    counter = Counter("commits")
+    counter.increment()
+    counter.increment(4)
+    assert counter.value == 5
+    assert counter.rate(10.0) == 0.5
+    assert counter.rate(0.0) == 0.0
+
+
+def test_monitor_warmup_filtering():
+    monitor = Monitor(warmup=100.0)
+    monitor.observe("rt", 50.0, at_time=50.0)     # during warm-up: dropped
+    monitor.observe("rt", 80.0, at_time=200.0)    # measured
+    monitor.count("commits", at_time=20.0)        # dropped
+    monitor.count("commits", at_time=150.0)       # measured
+    assert monitor.tally("rt").count == 1
+    assert monitor.counter("commits").value == 1
+
+
+def test_monitor_report_and_throughput():
+    monitor = Monitor(warmup=0.0)
+    monitor.started_at = 0.0
+    monitor.stopped_at = 1000.0
+    for value in (10.0, 20.0):
+        monitor.observe("rt", value, at_time=500.0)
+    monitor.count("commits", at_time=500.0, amount=5)
+    report = monitor.report()
+    assert report["rt"]["mean"] == 15.0
+    assert report["counter:commits"]["value"] == 5.0
+    assert monitor.throughput("commits") == pytest.approx(0.005)
