@@ -14,6 +14,8 @@ simulator:
 * the replication techniques — the database state machine at three safety
   levels plus the lazy and 0-safe baselines — in :mod:`repro.replication`;
 * the Table 4 workload model in :mod:`repro.workload`;
+* partitioned replication — the keyspace sharded across independent replica
+  groups with a cross-partition 2PC coordinator — in :mod:`repro.partition`;
 * harnesses regenerating every table and figure of the paper in
   :mod:`repro.experiments`.
 
@@ -30,11 +32,13 @@ Quick start::
     print(result.value)
 """
 
-from . import core, db, experiments, gcs, network, replication, sim, workload
+from . import (core, db, experiments, gcs, network, partition, replication,
+               sim, workload)
+from .partition import PartitionedCluster
 from .replication import ReplicatedDatabaseCluster
 from .workload import SimulationParameters
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "core",
@@ -42,10 +46,12 @@ __all__ = [
     "experiments",
     "gcs",
     "network",
+    "partition",
     "replication",
     "sim",
     "workload",
     "ReplicatedDatabaseCluster",
+    "PartitionedCluster",
     "SimulationParameters",
     "__version__",
 ]

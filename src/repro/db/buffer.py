@@ -20,7 +20,7 @@ is what group-1-safe and lazy replication use on the delegate.
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import Dict, Optional
 
 from ..network.node import Node
 from ..sim.engine import Simulator
@@ -69,7 +69,10 @@ class BufferPool:
         #: throughput", Sect. 5.1 of the paper), so a background write is
         #: cheaper than a random in-transaction write.
         self.background_write_factor = background_write_factor
-        self._dirty: Set[str] = set()
+        # Insertion-ordered so the flusher drains oldest pages first and
+        # the drain order is independent of string hashing (a plain set
+        # would make runs depend on PYTHONHASHSEED).
+        self._dirty: Dict[str, None] = {}
         self._flusher_running = False
         self._space_gate = Gate(sim, opened=True, name=f"{name}.space")
         #: Statistics counters.
@@ -121,7 +124,7 @@ class BufferPool:
         self._mark_dirty(key)
 
     def _mark_dirty(self, key: str) -> None:
-        self._dirty.add(key)
+        self._dirty[key] = None
         if self.max_dirty is not None and len(self._dirty) >= self.max_dirty:
             if self._space_gate.is_open:
                 self.throttle_events += 1
@@ -154,7 +157,7 @@ class BufferPool:
         written = 0
         while self._dirty and (max_items is None or written < max_items):
             key = next(iter(self._dirty))
-            self._dirty.discard(key)
+            self._dirty.pop(key, None)
             yield from self.node.use_cpu(self.node.cpu_time_per_io)
             yield from self.node.use_disk(self.background_write_factor *
                                           self._write_duration())

@@ -35,6 +35,10 @@ class LogRecordType(Enum):
     COMMIT = "commit"
     ABORT = "abort"
     CHECKPOINT = "checkpoint"
+    #: Atomic-commit decision of a cross-partition coordinator.  Not a
+    #: transaction commit: recovery redo, the safety audit and
+    #: ``committed_transactions()`` all ignore it.
+    DECISION = "decision"
 
 
 @dataclass
@@ -91,6 +95,10 @@ class WriteAheadLog:
     def append_abort(self, txn_id: str) -> LogRecord:
         """Append an abort record for ``txn_id``."""
         return self.append(LogRecord(LogRecordType.ABORT, txn_id))
+
+    def append_decision(self, txn_id: str) -> LogRecord:
+        """Append a coordinator decision record for ``txn_id``."""
+        return self.append(LogRecord(LogRecordType.DECISION, txn_id))
 
     # -- flush ------------------------------------------------------------------
     def _flush_duration(self) -> float:

@@ -6,6 +6,9 @@ from .failure_matrix import (MatrixEntry, crash_tolerance_summary,
 from .figure9 import (FIGURE9_LOADS, FIGURE9_TECHNIQUES, LoadPoint,
                       crossover_load, curves, figure9_sweep, render_figure9,
                       run_load_point)
+from .partition_scaling import (DEFAULT_LOAD_TPS, PARTITION_COUNTS,
+                                PartitionPoint, partition_sweep,
+                                render_partition_sweep, run_partition_point)
 from .report import banner, format_mapping, format_table
 from .scaling import (DivergenceOutcome, analytic_scaling,
                       conflicting_updates_run, render_scaling)
@@ -38,6 +41,12 @@ __all__ = [
     "conflicting_updates_run",
     "analytic_scaling",
     "render_scaling",
+    "PartitionPoint",
+    "PARTITION_COUNTS",
+    "DEFAULT_LOAD_TPS",
+    "run_partition_point",
+    "partition_sweep",
+    "render_partition_sweep",
     "format_table",
     "format_mapping",
     "banner",

@@ -1,0 +1,115 @@
+"""Partition-scaling experiment: throughput vs. number of replica groups.
+
+The paper's system is one replica group whose atomic broadcast totally orders
+*every* update — the hard scalability ceiling discussed alongside Fig. 9.
+This experiment, which the paper never ran, shards the keyspace across
+independent replica groups and measures how committed throughput and response
+-time percentiles evolve as the partition count grows, with and without
+cross-partition transactions (whose two-phase commit re-introduces a
+coordination cost the single-group system never pays).
+
+Common random numbers hold across the sweep: every configuration is driven
+with the same master seed, so the generated workload differs only where the
+partition layout forces it to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..partition.cluster import PartitionedCluster
+from ..partition.stats import PartitionedRunStatistics, collect_statistics
+from ..partition.workload import PartitionedOpenLoopClients
+from ..workload.params import SimulationParameters
+
+#: Partition counts swept by default (1 reproduces the paper's system shape).
+PARTITION_COUNTS = (1, 2, 4, 8)
+#: Default offered load (tps): saturates one group, leaves eight comfortable.
+DEFAULT_LOAD_TPS = 120.0
+
+
+@dataclass
+class PartitionPoint:
+    """One measured configuration of the partition sweep."""
+
+    partition_count: int
+    technique: str
+    cross_partition_probability: float
+    offered_load_tps: float
+    statistics: PartitionedRunStatistics
+
+    @property
+    def achieved_throughput_tps(self) -> float:
+        """Committed transactions per second at this point."""
+        return self.statistics.achieved_throughput_tps
+
+    @property
+    def mean_response_time(self) -> float:
+        """Mean committed response time (ms) at this point."""
+        return self.statistics.mean_response_time
+
+
+def run_partition_point(technique: str = "group-safe",
+                        partition_count: int = 1,
+                        load_tps: float = DEFAULT_LOAD_TPS,
+                        cross_partition_probability: float = 0.0,
+                        duration_ms: float = 12_000.0,
+                        warmup_ms: float = 2_000.0,
+                        seed: int = 21,
+                        params: Optional[SimulationParameters] = None
+                        ) -> PartitionPoint:
+    """Drive one partitioned configuration and summarise it."""
+    parameters = params or SimulationParameters.small(server_count=3,
+                                                      item_count=400)
+    parameters = parameters.with_overrides(
+        partition_count=partition_count,
+        cross_partition_probability=cross_partition_probability)
+    cluster = PartitionedCluster(technique, params=parameters, seed=seed)
+    cluster.start()
+    clients = PartitionedOpenLoopClients(cluster, load_tps=load_tps,
+                                         warmup=warmup_ms)
+    clients.start()
+    cluster.run(until=duration_ms)
+    statistics = collect_statistics(clients,
+                                    duration_ms=duration_ms - warmup_ms)
+    return PartitionPoint(
+        partition_count=partition_count, technique=technique,
+        cross_partition_probability=cross_partition_probability,
+        offered_load_tps=load_tps, statistics=statistics)
+
+
+def partition_sweep(partition_counts: Sequence[int] = PARTITION_COUNTS,
+                    technique: str = "group-safe",
+                    load_tps: float = DEFAULT_LOAD_TPS,
+                    cross_partition_probability: float = 0.0,
+                    duration_ms: float = 12_000.0,
+                    seed: int = 21,
+                    params: Optional[SimulationParameters] = None
+                    ) -> List[PartitionPoint]:
+    """Sweep the partition count at a fixed offered load."""
+    return [run_partition_point(
+        technique=technique, partition_count=count, load_tps=load_tps,
+        cross_partition_probability=cross_partition_probability,
+        duration_ms=duration_ms, seed=seed, params=params)
+        for count in partition_counts]
+
+
+def render_partition_sweep(points: Sequence[PartitionPoint]) -> str:
+    """Text rendering of one partition sweep."""
+    header = (f"{'partitions':>10} | {'xpart %':>7} | {'offered':>8} | "
+              f"{'tput tps':>9} | {'mean rt':>8} | {'p95 rt':>8} | "
+              f"{'p99 rt':>8} | {'aborts':>6}")
+    lines = [header, "-" * len(header)]
+    for point in points:
+        stats = point.statistics
+        lines.append(
+            f"{point.partition_count:>10} | "
+            f"{point.cross_partition_probability:>7.0%} | "
+            f"{point.offered_load_tps:>8.0f} | "
+            f"{stats.achieved_throughput_tps:>9.1f} | "
+            f"{stats.mean_response_time:>8.1f} | "
+            f"{stats.percentile(0.95):>8.1f} | "
+            f"{stats.percentile(0.99):>8.1f} | "
+            f"{stats.measured_aborts:>6}")
+    return "\n".join(lines)

@@ -110,6 +110,11 @@ class GroupMembership:
         return self._install(ordered)
 
     def _on_suspicion(self, member: str, event: str) -> None:
+        if member not in self.static_members:
+            # On a shared LAN the failure detector watches every node,
+            # including nodes of other replica groups; only notifications
+            # about this group's own members concern this membership.
+            return
         if event == "suspect":
             self.remove_member(member)
         elif event == "restore":

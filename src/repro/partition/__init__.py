@@ -1,0 +1,51 @@
+"""Partitioned replication: sharding the database across replica groups.
+
+The paper studies one replica group whose throughput is capped by a single
+total-order broadcast domain.  This package grows the system past that
+ceiling: the keyspace is sharded across several independent groups — each
+running its own group-communication system and safety technique — and a
+two-phase commit coordinator provides atomicity for the transactions that
+span shards.
+
+* :mod:`~repro.partition.partitioner` — hash and range key -> partition maps;
+* :mod:`~repro.partition.router` — single- vs. multi-partition classification
+  and program splitting;
+* :mod:`~repro.partition.coordinator` — the cross-partition atomic-commit
+  protocol (2PC whose participants are replica groups);
+* :mod:`~repro.partition.cluster` — the :class:`PartitionedCluster` facade;
+* :mod:`~repro.partition.workload` — partition-aware workload generation and
+  the open-loop load driver;
+* :mod:`~repro.partition.stats` — aggregated run statistics.
+"""
+
+from .cluster import PartitionedCluster
+from .coordinator import (ABORT_TIMEOUT, ABORT_UNAVAILABLE, ABORT_VALIDATION,
+                          BranchOutcome, CrossPartitionCoordinator,
+                          CrossPartitionOutcome)
+from .partitioner import (STRATEGIES, HashPartitioner, Partitioner,
+                          RangePartitioner, make_partitioner)
+from .router import TransactionRouter
+from .stats import (PartitionedRunStatistics, collect_statistics,
+                    render_partition_table)
+from .workload import PartitionedOpenLoopClients, PartitionedWorkloadGenerator
+
+__all__ = [
+    "PartitionedCluster",
+    "CrossPartitionCoordinator",
+    "CrossPartitionOutcome",
+    "BranchOutcome",
+    "ABORT_VALIDATION",
+    "ABORT_TIMEOUT",
+    "ABORT_UNAVAILABLE",
+    "Partitioner",
+    "HashPartitioner",
+    "RangePartitioner",
+    "make_partitioner",
+    "STRATEGIES",
+    "TransactionRouter",
+    "PartitionedWorkloadGenerator",
+    "PartitionedOpenLoopClients",
+    "PartitionedRunStatistics",
+    "collect_statistics",
+    "render_partition_table",
+]

@@ -1,0 +1,218 @@
+"""Facade assembling a partitioned replicated database.
+
+A :class:`PartitionedCluster` shards the keyspace across several independent
+replica groups — each a full :class:`~repro.replication.ReplicatedDatabaseCluster`
+running its own group-communication system and safety technique — all living
+on one shared :class:`~repro.sim.engine.Simulator` and one shared
+:class:`~repro.network.lan.Lan`.  Sharding removes the single atomic-broadcast
+domain that caps the throughput of the paper's system: partitions order and
+apply their transactions independently, so capacity grows with the partition
+count as long as transactions stay within one partition.
+
+Single-partition transactions are routed straight to the owning group (the
+fast path); transactions spanning several partitions go through the
+:class:`~repro.partition.coordinator.CrossPartitionCoordinator`'s two-phase
+commit, which composes atomicity across shards with each shard's own safety
+level.
+
+Typical use::
+
+    from repro.partition import PartitionedCluster
+    from repro.workload import SimulationParameters
+
+    params = SimulationParameters.small().with_overrides(
+        partition_count=4, cross_partition_probability=0.1)
+    cluster = PartitionedCluster("group-safe", params=params, seed=42)
+    cluster.start()
+    outcome = cluster.run_transaction(cluster.workload.next_program())
+    cluster.run(until=5_000)
+    print(outcome.value)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..db.operations import TransactionProgram
+from ..network.lan import Lan
+from ..replication.cluster import TECHNIQUES, ReplicatedDatabaseCluster
+from ..replication.results import TransactionResult
+from ..sim.engine import Simulator
+from ..sim.events import Event
+from ..sim.process import Process
+from ..workload.params import SimulationParameters
+from .coordinator import CrossPartitionCoordinator, CrossPartitionOutcome
+from .partitioner import Partitioner, make_partitioner
+from .router import TransactionRouter
+from .workload import PartitionedWorkloadGenerator
+
+
+class PartitionedCluster:
+    """Several independent replica groups sharing one simulated world."""
+
+    def __init__(self, technique: str = "group-safe",
+                 params: Optional[SimulationParameters] = None,
+                 seed: int = 0, partition_count: Optional[int] = None,
+                 strategy: str = "hash",
+                 sim: Optional[Simulator] = None,
+                 routing: str = "update-everywhere",
+                 techniques: Optional[Sequence[str]] = None) -> None:
+        self.params = params or SimulationParameters.paper()
+        self.partition_count = (partition_count if partition_count is not None
+                                else self.params.partition_count)
+        if self.partition_count < 1:
+            raise ValueError(
+                f"partition count must be >= 1, got {self.partition_count!r}")
+        if techniques is None:
+            techniques = [technique] * self.partition_count
+        techniques = list(techniques)
+        if len(techniques) != self.partition_count:
+            raise ValueError(
+                f"got {len(techniques)} techniques for "
+                f"{self.partition_count} partitions")
+        for name in techniques:
+            if name not in TECHNIQUES:
+                raise ValueError(
+                    f"unknown technique {name!r}; expected one of {TECHNIQUES}")
+        self.techniques = techniques
+        self.sim = sim or Simulator(seed=seed)
+        self.lan = Lan(self.sim, latency=self.params.network_latency)
+        self.partitioner: Partitioner = make_partitioner(
+            strategy, self.partition_count, self.params.item_count)
+        #: One full replica group per partition, named ``p<id>.s<j>``.
+        self.groups: List[ReplicatedDatabaseCluster] = [
+            ReplicatedDatabaseCluster(
+                group_technique, params=self.params, sim=self.sim,
+                lan=self.lan, routing=routing,
+                name_prefix=f"p{partition_id}.")
+            for partition_id, group_technique in enumerate(techniques)]
+        self.router = TransactionRouter(self.partitioner)
+        self.workload = PartitionedWorkloadGenerator(
+            self.sim, self.params, self.partitioner)
+        self.coordinator = CrossPartitionCoordinator(self)
+        self._started = False
+
+    # ------------------------------------------------------------------ access
+    def group(self, partition_id: int) -> ReplicatedDatabaseCluster:
+        """The replica group owning partition ``partition_id``."""
+        return self.groups[partition_id]
+
+    def partition_of(self, key: str) -> int:
+        """The partition id owning item ``key``."""
+        return self.partitioner.partition_of(key)
+
+    def group_of(self, key: str) -> ReplicatedDatabaseCluster:
+        """The replica group owning item ``key``."""
+        return self.groups[self.partition_of(key)]
+
+    def server_names(self) -> List[str]:
+        """Names of every server across all partitions."""
+        names: List[str] = []
+        for group in self.groups:
+            names.extend(group.server_names())
+        return names
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Start every replica group."""
+        if self._started:
+            return
+        self._started = True
+        for group in self.groups:
+            group.start()
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Advance the shared simulation (convenience passthrough)."""
+        return self.sim.run(until=until)
+
+    # ------------------------------------------------------------------ submission
+    def submit(self, program: TransactionProgram,
+               client_index: int = 0) -> Event:
+        """Submit ``program``, routing by the partitions it touches.
+
+        Returns an event that fires with a
+        :class:`~repro.replication.results.TransactionResult` (fast path) or
+        a :class:`~repro.partition.coordinator.CrossPartitionOutcome`
+        (coordinated path).
+        """
+        partitions = self.router.classify(program)
+        if len(partitions) == 1:
+            group = self.groups[partitions[0]]
+            if not group.up_servers():
+                raise RuntimeError(
+                    f"partition {partitions[0]} has no live servers")
+            return group.submit(program, client_index=client_index)
+        return self.coordinator.submit(program, client_index=client_index)
+
+    def run_transaction(self, program: TransactionProgram) -> Process:
+        """Submit and wrap the wait for the outcome into a process.
+
+        A program whose owning partition has no live servers completes with
+        an aborted :class:`~repro.replication.results.TransactionResult`
+        (mirroring the coordinated path's unavailability abort) instead of
+        raising inside the simulation.
+        """
+        def waiter():
+            try:
+                event = self.submit(program)
+            except RuntimeError:
+                return TransactionResult(
+                    txn_id=f"rejected:{program.program_id}", committed=False,
+                    delegate="", submitted_at=self.sim.now,
+                    responded_at=self.sim.now,
+                    abort_reason="partition-unavailable")
+            outcome = yield event
+            return outcome
+        return self.sim.spawn(waiter(), name=f"client.{program.program_id}")
+
+    # ------------------------------------------------------------------ failures
+    def crash_server(self, partition_id: int, server: str) -> None:
+        """Crash one server of one partition's group."""
+        self.groups[partition_id].crash_server(server)
+
+    def crash_partition(self, partition_id: int) -> None:
+        """Crash every server of one partition (shard-wide outage)."""
+        self.groups[partition_id].crash_all()
+
+    def recover_server(self, partition_id: int, server: str) -> Process:
+        """Recover one server of one partition's group."""
+        return self.groups[partition_id].recover_server(server)
+
+    def up_partitions(self) -> List[int]:
+        """Ids of partitions with at least one server up."""
+        return [partition_id for partition_id, group in enumerate(self.groups)
+                if group.up_servers()]
+
+    # ------------------------------------------------------------------ results
+    def all_single_partition_results(self) -> List:
+        """Fast-path results across all groups, in response order.
+
+        Excludes the internal update-only transactions the cross-partition
+        coordinator submits to install its branches — those are 2PC work,
+        not client-visible fast-path results.
+        """
+        branch_ids = self.coordinator.branch_txn_ids
+        results = []
+        for group in self.groups:
+            results.extend(result for result in group.all_results()
+                           if result.txn_id not in branch_ids)
+        return sorted(results, key=lambda result: result.responded_at)
+
+    def cross_partition_outcomes(self) -> List[CrossPartitionOutcome]:
+        """Every coordinated outcome produced so far."""
+        return list(self.coordinator.outcomes)
+
+    def committed_on_partition(self, partition_id: int, txn_id: str) -> bool:
+        """True if ``txn_id`` is committed on every server of the partition."""
+        return self.groups[partition_id].committed_everywhere(txn_id)
+
+    def commit_counts(self) -> Dict[int, int]:
+        """Per-partition count of locally committed transactions."""
+        return {
+            partition_id: sum(group.database(name).committed_count
+                              for name in group.server_names())
+            for partition_id, group in enumerate(self.groups)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"<PartitionedCluster partitions={self.partition_count} "
+                f"techniques={self.techniques}>")

@@ -1,0 +1,395 @@
+"""Atomic commitment of cross-partition transactions (2PC over replica groups).
+
+A transaction spanning several partitions must commit on *all* of them or on
+*none* — atomicity across shards, on top of whatever safety level each shard's
+replica group provides.  The :class:`CrossPartitionCoordinator` implements a
+two-phase commit whose participants are whole replica groups, not single
+servers:
+
+1. **Prepare.**  Each branch executes its read phase on a delegate of the
+   owning group (optimistic, no locks — the same deferred-update discipline as
+   the database state machine) and records the versions it observed.  A branch
+   votes *yes* iff its delegate was reachable, the reads finished within the
+   prepare timeout, and the recorded versions are still current at vote
+   collection (the certification test of Sect. 2.1 applied at the
+   coordinator).
+2. **Decision.**  The coordinator force-logs the global decision on the home
+   partition's delegate (the classic 2PC forced write), then
+3. **Commit.**  each branch's write set is submitted to the owning group as an
+   update-only transaction through the group's *ordinary* replication
+   technique.  An update-only transaction has an empty read set, so it passes
+   certification deterministically on every group member; durability of each
+   branch is therefore exactly the group's own guarantee — group-safe branches
+   are entrusted to the group, 2-safe branches are logged everywhere, 1-safe
+   branches are logged on the branch delegate.  Safety composes instead of
+   being reimplemented.
+
+If any branch votes *no*, nothing was installed anywhere (prepare stages
+writes without applying them), so abort is simply a matter of answering the
+client — all-or-nothing holds trivially.  On the commit path a branch that
+aborts locally for transient reasons (a deadlock between two commit branches
+on a lazy partition, a delegate crash) is retried, possibly on another member
+of the group: once the decision is logged, participants must get to commit.
+
+**Isolation caveat.**  The coordinator guarantees *atomicity* (all-or-nothing
+across partitions) and per-branch durability at each group's safety level —
+not global serialisability.  The validation window closes at vote collection:
+between the vote and the branch's installation in its group's total order, a
+concurrent conflicting transaction can commit, in which case the branch's
+blind writes overwrite it (a lost-update anomaly the single-group
+certification discipline would have aborted).  Making commit infallible after
+the decision — the essence of 2PC — is fundamentally in tension with
+re-certifying at install time; closing the window would need prepare-time
+locks that the certification-based techniques do not take for their own
+transactions.  This mirrors the anomaly budget the paper itself tolerates for
+lazy replication (Sect. 7) and is measured, not hidden: validation aborts and
+the cross-partition abort rate are reported by the statistics module.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..db.operations import Operation, OperationType, TransactionProgram
+from ..db.transaction import Transaction
+from ..sim.events import Event
+
+#: Abort reasons the coordinator can produce.
+ABORT_VALIDATION = "xpartition-validation"
+ABORT_TIMEOUT = "xpartition-prepare-timeout"
+ABORT_UNAVAILABLE = "xpartition-unavailable"
+
+
+@dataclass
+class BranchOutcome:
+    """What happened to one partition's branch of a cross-partition transaction."""
+
+    partition_id: int
+    delegate: str
+    voted_yes: bool = False
+    #: Transaction id of the committed update-only branch on its partition
+    #: (None for read-only branches and for aborted transactions).
+    txn_id: Optional[str] = None
+    committed: bool = False
+    abort_reason: Optional[str] = None
+    #: True while the global decision is *commit* but this branch's whole
+    #: group is down — the classic blocked-participant state of 2PC.  The
+    #: branch's writes are installed when the group recovers, never dropped.
+    in_doubt: bool = False
+
+
+@dataclass
+class CrossPartitionOutcome:
+    """Client-visible outcome of one cross-partition transaction."""
+
+    xid: str
+    committed: bool
+    submitted_at: float
+    responded_at: float
+    partitions: Tuple[int, ...]
+    abort_reason: Optional[str] = None
+    branches: List[BranchOutcome] = field(default_factory=list)
+    client: str = "client"
+
+    @property
+    def in_doubt(self) -> bool:
+        """True while some decided branch is blocked on a crashed group."""
+        return any(branch.in_doubt for branch in self.branches)
+
+    @property
+    def response_time(self) -> float:
+        """Client-observed response time in milliseconds."""
+        return self.responded_at - self.submitted_at
+
+    def branch(self, partition_id: int) -> BranchOutcome:
+        """The branch outcome for ``partition_id``."""
+        for branch in self.branches:
+            if branch.partition_id == partition_id:
+                return branch
+        raise KeyError(partition_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        verdict = "commit" if self.committed else f"abort({self.abort_reason})"
+        return (f"<CrossPartitionOutcome {self.xid} {verdict} "
+                f"partitions={self.partitions} rt={self.response_time:.1f}ms>")
+
+
+class CrossPartitionCoordinator:
+    """Two-phase commit across the replica groups of a partitioned cluster."""
+
+    def __init__(self, cluster, prepare_timeout: float = 2_000.0,
+                 retry_backoff: float = 5.0,
+                 max_retry_backoff: float = 250.0) -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.prepare_timeout = prepare_timeout
+        self.retry_backoff = retry_backoff
+        self.max_retry_backoff = max_retry_backoff
+        self._ids = itertools.count(1)
+        #: Every cross-partition outcome produced so far, in response order.
+        self.outcomes: List[CrossPartitionOutcome] = []
+        #: Statistics.
+        self.committed_count = 0
+        self.aborted_count = 0
+        self.validation_aborts = 0
+        self.timeout_aborts = 0
+        self.unavailable_aborts = 0
+        #: Number of decided branches currently blocked on a crashed group.
+        self.in_doubt_branches = 0
+        #: Transaction ids of every committed phase-2 branch install, so the
+        #: cluster can separate internal 2PC work from client fast-path
+        #: results.
+        self.branch_txn_ids: set = set()
+
+    # ------------------------------------------------------------------ submission
+    def submit(self, program: TransactionProgram,
+               client_index: int = 0) -> Event:
+        """Run 2PC for ``program``; the event fires with the outcome."""
+        response_event = Event(self.sim)
+        xid = f"xp-{next(self._ids)}"
+        self.sim.spawn(self._run(program, xid, response_event, client_index),
+                       name=f"xp.coordinator.{xid}")
+        return response_event
+
+    # ------------------------------------------------------------------ protocol
+    def _run(self, program: TransactionProgram, xid: str,
+             response_event: Event, client_index: int):
+        submitted_at = self.sim.now
+        branches = self.cluster.router.split(program)
+        partitions = tuple(sorted(branches))
+        outcome = CrossPartitionOutcome(
+            xid=xid, committed=False, submitted_at=submitted_at,
+            responded_at=submitted_at, partitions=partitions,
+            client=program.client)
+
+        # Pick one delegate per involved partition (the group's own routing).
+        delegates: Dict[int, str] = {}
+        for partition_id in partitions:
+            group = self.cluster.group(partition_id)
+            if not group.up_servers():
+                outcome.branches = [
+                    BranchOutcome(partition_id=pid, delegate="")
+                    for pid in partitions]
+                self._finish(outcome, ABORT_UNAVAILABLE, response_event)
+                return
+            delegates[partition_id] = group.choose_delegate(client_index)
+        outcome.branches = [
+            BranchOutcome(partition_id=pid, delegate=delegates[pid])
+            for pid in partitions]
+
+        # -- phase 1: prepare every branch in parallel ----------------------
+        prepare_procs = {
+            partition_id: self.sim.spawn(
+                self._prepare(partition_id, delegates[partition_id],
+                              branches[partition_id], xid),
+                name=f"xp.prepare.{xid}.p{partition_id}")
+            for partition_id in partitions}
+        timeout = self.sim.timeout(self.prepare_timeout)
+        yield self.sim.any_of(
+            [self.sim.all_of(list(prepare_procs.values())), timeout])
+
+        timed_out = False
+        transactions: Dict[int, Transaction] = {}
+        for partition_id, process in prepare_procs.items():
+            branch_outcome = outcome.branch(partition_id)
+            if not process.triggered:
+                # The branch delegate crashed (or stalled) mid-prepare; its
+                # read events will never fire.  Vote no.
+                timed_out = True
+                branch_outcome.abort_reason = ABORT_TIMEOUT
+                continue
+            transaction = process.value
+            if transaction is None:
+                branch_outcome.abort_reason = ABORT_UNAVAILABLE
+                continue
+            transactions[partition_id] = transaction
+            branch_outcome.voted_yes = True
+
+        # -- vote collection: re-validate the observed versions -------------
+        if len(transactions) == len(partitions):
+            for partition_id, transaction in transactions.items():
+                database = self.cluster.group(partition_id).database(
+                    delegates[partition_id])
+                if not database.certify(transaction.certification_payload()):
+                    branch_outcome = outcome.branch(partition_id)
+                    branch_outcome.voted_yes = False
+                    branch_outcome.abort_reason = ABORT_VALIDATION
+
+        all_yes = all(branch.voted_yes for branch in outcome.branches)
+        if not all_yes:
+            if timed_out:
+                reason = ABORT_TIMEOUT
+            elif any(branch.abort_reason == ABORT_UNAVAILABLE
+                     for branch in outcome.branches):
+                reason = ABORT_UNAVAILABLE
+            else:
+                reason = ABORT_VALIDATION
+            # Nothing was installed during prepare, so aborting everywhere is
+            # just a matter of answering the client.
+            self._finish(outcome, reason, response_event)
+            return
+
+        # -- decision: force-log it on the home partition's delegate --------
+        # The flush is bounded like the prepare phase: if the home delegate
+        # crashes, its queued resource requests are silently cancelled (no
+        # exception reaches a sim-spawned process), so an unbounded wait
+        # would hang the client forever.  On timeout no branch has installed
+        # anything yet, so aborting everywhere is safe.
+        home = partitions[0]
+        home_db = self.cluster.group(home).database(delegates[home])
+        decision_process = self.sim.spawn(
+            self._log_decision(home_db, xid),
+            name=f"xp.decision.{xid}")
+        yield self.sim.any_of(
+            [decision_process, self.sim.timeout(self.prepare_timeout)])
+        if not decision_process.triggered or decision_process.value is not True:
+            self._finish(outcome, ABORT_UNAVAILABLE, response_event)
+            return
+
+        # -- phase 2: make every write branch durable via its group ---------
+        commit_procs = []
+        for partition_id in partitions:
+            transaction = transactions[partition_id]
+            if not transaction.write_values:
+                # Read-only branch: it voted, there is nothing to install.
+                outcome.branch(partition_id).committed = True
+                continue
+            commit_procs.append(self.sim.spawn(
+                self._commit_branch(partition_id, delegates[partition_id],
+                                    transaction, xid,
+                                    outcome.branch(partition_id)),
+                name=f"xp.commit.{xid}.p{partition_id}"))
+        if commit_procs:
+            yield self.sim.all_of(commit_procs)
+
+        self._finish(outcome, None, response_event)
+
+    def _log_decision(self, home_db, xid: str):
+        """Generator: force-write the 2PC decision record (True on success).
+
+        The record has its own WAL type (not COMMIT), so recovery redo, the
+        safety audit and ``committed_transactions()`` never mistake it for a
+        transaction.  If the coordinator times this flush out and aborts, a
+        straggling decision record may still become durable later; nothing
+        consumes it today — a decision-replay recovery pass (see ROADMAP)
+        would have to reconcile it with the client-visible abort.
+        """
+        try:
+            home_db.wal.append_decision(xid)
+            yield from home_db.wal.flush()
+        except Exception:
+            # The home delegate crashed mid-flush with the request in
+            # service; the decision is not durable.
+            return False
+        return True
+
+    def _prepare(self, partition_id: int, delegate: str,
+                 branch: TransactionProgram, xid: str):
+        """Generator: execute the branch's read phase on its delegate."""
+        group = self.cluster.group(partition_id)
+        if not group.node(delegate).is_up:
+            return None
+        database = group.database(delegate)
+        transaction = database.begin(branch, delegate=delegate,
+                                     txn_id=f"{xid}.p{partition_id}")
+        try:
+            for operation in branch.operations:
+                if operation.is_read:
+                    yield from database.read(transaction, operation.key,
+                                             use_lock=False)
+                else:
+                    database.stage_write(transaction, operation.key,
+                                         operation.value)
+        except Exception:
+            # Any local failure during prepare is simply a no-vote; raising
+            # here would tear down the coordinator instead of aborting.
+            return None
+        return transaction
+
+    def _commit_branch(self, partition_id: int, delegate: str,
+                       transaction: Transaction, xid: str,
+                       branch_outcome: BranchOutcome):
+        """Generator: drive the branch's write set to commit on its group.
+
+        The global decision is already logged, so this *must* succeed: local
+        aborts (deadlocks between concurrent commit branches on a lazy
+        partition, delegate crashes) are retried, switching to another group
+        member when the delegate is down, and a whole-group outage blocks the
+        branch until a member recovers — the classic blocking behaviour of
+        2PC.  Decided writes are never dropped; the client response is simply
+        delayed until every branch is durable.  The update-only program is
+        idempotent — it installs the same values on every attempt — so an
+        at-least-once retry cannot violate atomicity.
+        """
+        group = self.cluster.group(partition_id)
+        write_operations = tuple(
+            Operation(OperationType.WRITE, key, value)
+            for key, value in transaction.write_values.items())
+        server = delegate
+        attempt = 0
+        while True:
+            attempt += 1
+            backoff = min(self.retry_backoff * attempt, self.max_retry_backoff)
+            if not group.node(server).is_up:
+                up_servers = group.up_servers()
+                if not up_servers:
+                    # The whole group is down; wait for a recovery — the
+                    # decision is durable, the branch is in doubt until a
+                    # member comes back.
+                    if not branch_outcome.in_doubt:
+                        branch_outcome.in_doubt = True
+                        self.in_doubt_branches += 1
+                    yield self.sim.timeout(backoff)
+                    continue
+                server = up_servers[0]
+            if branch_outcome.in_doubt:
+                branch_outcome.in_doubt = False
+                self.in_doubt_branches -= 1
+            program = TransactionProgram(operations=write_operations,
+                                         client=f"xp.{xid}")
+            try:
+                result = yield group.submit(program, server=server)
+            except RuntimeError:
+                # The chosen server stopped between the check and the submit.
+                yield self.sim.timeout(backoff)
+                continue
+            # Every attempt — including crash/deadlock aborts that will be
+            # retried — is internal 2PC work, never a fast-path result.
+            self.branch_txn_ids.add(result.txn_id)
+            if result.committed:
+                branch_outcome.committed = True
+                branch_outcome.txn_id = result.txn_id
+                return
+            yield self.sim.timeout(backoff)
+
+    # ------------------------------------------------------------------ bookkeeping
+    def _finish(self, outcome: CrossPartitionOutcome, reason: Optional[str],
+                response_event: Event) -> None:
+        outcome.committed = reason is None and all(
+            branch.committed for branch in outcome.branches)
+        if reason is None and not outcome.committed:
+            # Defensive: phase 2 retries until every branch commits, so this
+            # only triggers if a branch generator is changed to give up.
+            reason = next((branch.abort_reason for branch in outcome.branches
+                           if branch.abort_reason), "xpartition-in-doubt")
+        outcome.abort_reason = reason
+        outcome.responded_at = self.sim.now
+        self.outcomes.append(outcome)
+        if outcome.committed:
+            self.committed_count += 1
+        else:
+            self.aborted_count += 1
+            if reason == ABORT_VALIDATION:
+                self.validation_aborts += 1
+            elif reason == ABORT_TIMEOUT:
+                self.timeout_aborts += 1
+            elif reason == ABORT_UNAVAILABLE:
+                self.unavailable_aborts += 1
+        if not response_event.triggered:
+            response_event.succeed(outcome)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"<CrossPartitionCoordinator committed={self.committed_count} "
+                f"aborted={self.aborted_count}>")

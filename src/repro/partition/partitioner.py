@@ -1,0 +1,97 @@
+"""Keyspace partitioning strategies.
+
+A :class:`Partitioner` maps every item key to the id of the replica group
+(partition) that owns it.  Two strategies are provided:
+
+* :class:`HashPartitioner` — a stable CRC32 hash of the key modulo the
+  partition count.  Spreads any keyspace evenly; adjacent items land on
+  different partitions, so range-local workloads gain nothing.
+* :class:`RangePartitioner` — contiguous index ranges over the conventional
+  ``item-<i>`` keys.  Keeps neighbouring items co-located, which is what a
+  range-scan-friendly deployment would choose.
+
+Both are deterministic functions of the key alone (no salted ``hash()``), so
+the mapping is identical across runs and across processes — a requirement for
+the reproducibility discipline of the simulation study.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterable, List
+
+
+class Partitioner:
+    """Base class: a deterministic key -> partition-id mapping."""
+
+    def __init__(self, partition_count: int) -> None:
+        if partition_count < 1:
+            raise ValueError(
+                f"partition count must be >= 1, got {partition_count!r}")
+        self.partition_count = partition_count
+
+    def partition_of(self, key: str) -> int:
+        """The id (``0 .. partition_count-1``) of the partition owning ``key``."""
+        raise NotImplementedError
+
+    def partitions_of(self, keys: Iterable[str]) -> List[int]:
+        """Sorted ids of all partitions touched by ``keys``."""
+        return sorted({self.partition_of(key) for key in keys})
+
+    def partition_keys(self, keys: Iterable[str]) -> Dict[int, List[str]]:
+        """Group ``keys`` by owning partition, preserving order within each."""
+        grouped: Dict[int, List[str]] = {}
+        for key in keys:
+            grouped.setdefault(self.partition_of(key), []).append(key)
+        return grouped
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{type(self).__name__} partitions={self.partition_count}>"
+
+
+class HashPartitioner(Partitioner):
+    """Stable hash partitioning: ``crc32(key) % partition_count``."""
+
+    def partition_of(self, key: str) -> int:
+        return zlib.crc32(key.encode("utf-8")) % self.partition_count
+
+
+class RangePartitioner(Partitioner):
+    """Contiguous ranges of the ``item-<i>`` keyspace.
+
+    Item index ``i`` of an ``item_count``-item database belongs to partition
+    ``i * partition_count // item_count``; keys that do not follow the
+    ``<anything>-<integer>`` convention fall back to hash placement so the
+    partitioner stays total.
+    """
+
+    def __init__(self, partition_count: int, item_count: int) -> None:
+        super().__init__(partition_count)
+        if item_count < partition_count:
+            raise ValueError(
+                f"cannot range-partition {item_count} items into "
+                f"{partition_count} partitions")
+        self.item_count = item_count
+
+    def partition_of(self, key: str) -> int:
+        _prefix, _sep, suffix = key.rpartition("-")
+        if suffix.isdigit():
+            index = min(int(suffix), self.item_count - 1)
+            return index * self.partition_count // self.item_count
+        return zlib.crc32(key.encode("utf-8")) % self.partition_count
+
+
+#: Strategy names accepted by :func:`make_partitioner`.
+STRATEGIES = ("hash", "range")
+
+
+def make_partitioner(strategy: str, partition_count: int,
+                     item_count: int = 0) -> Partitioner:
+    """Build the partitioner named ``strategy`` (``"hash"`` or ``"range"``)."""
+    if strategy == "hash":
+        return HashPartitioner(partition_count)
+    if strategy == "range":
+        return RangePartitioner(partition_count, item_count)
+    raise ValueError(
+        f"unknown partitioning strategy {strategy!r}; expected one of "
+        f"{STRATEGIES}")

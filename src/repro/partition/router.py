@@ -1,0 +1,70 @@
+"""Routing transaction programs to partitions.
+
+The :class:`TransactionRouter` classifies every
+:class:`~repro.db.operations.TransactionProgram` by the set of partitions its
+operations touch.  Single-partition programs take the fast path — they are
+submitted directly to the owning replica group and enjoy exactly the latency
+the paper measured for one group.  Multi-partition programs are split into
+per-partition *branches* and handed to the
+:class:`~repro.partition.coordinator.CrossPartitionCoordinator`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..db.operations import TransactionProgram
+from .partitioner import Partitioner
+
+
+class TransactionRouter:
+    """Classify and split programs by the partitions their keys live on."""
+
+    def __init__(self, partitioner: Partitioner) -> None:
+        self.partitioner = partitioner
+        #: Statistics: how many programs were classified each way.
+        self.single_partition_count = 0
+        self.cross_partition_count = 0
+
+    # -- classification ---------------------------------------------------------------
+    def partitions_of(self, program: TransactionProgram) -> List[int]:
+        """Sorted ids of every partition touched by ``program``."""
+        return self.partitioner.partitions_of(
+            operation.key for operation in program.operations)
+
+    def is_single_partition(self, program: TransactionProgram) -> bool:
+        """True if every operation of ``program`` lives on one partition."""
+        return len(self.partitions_of(program)) == 1
+
+    def classify(self, program: TransactionProgram) -> List[int]:
+        """Like :meth:`partitions_of`, but also updates the routing counters."""
+        partitions = self.partitions_of(program)
+        if len(partitions) == 1:
+            self.single_partition_count += 1
+        else:
+            self.cross_partition_count += 1
+        return partitions
+
+    # -- splitting -----------------------------------------------------------------------
+    def split(self, program: TransactionProgram
+              ) -> Dict[int, TransactionProgram]:
+        """Split ``program`` into one branch program per touched partition.
+
+        Each branch keeps its operations in original program order, so the
+        per-partition read/write semantics are unchanged.  Branch programs get
+        fresh program ids (they become independent transactions on their
+        partition); the originating client name is preserved.
+        """
+        by_partition: Dict[int, List] = {}
+        for operation in program.operations:
+            partition_id = self.partitioner.partition_of(operation.key)
+            by_partition.setdefault(partition_id, []).append(operation)
+        return {
+            partition_id: TransactionProgram(operations=tuple(operations),
+                                             client=program.client)
+            for partition_id, operations in sorted(by_partition.items())
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"<TransactionRouter single={self.single_partition_count} "
+                f"cross={self.cross_partition_count}>")

@@ -1,0 +1,128 @@
+"""Aggregated statistics of a partitioned-cluster run.
+
+:class:`PartitionedRunStatistics` folds the two result kinds — fast-path
+:class:`~repro.replication.results.TransactionResult` and coordinated
+:class:`~repro.partition.coordinator.CrossPartitionOutcome` — into one
+summary, reusing :class:`~repro.replication.results.RunStatistics` for each
+population so the percentile / throughput machinery stays in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Sequence
+
+from ..replication.results import RunStatistics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .workload import PartitionedOpenLoopClients
+
+
+@dataclass
+class PartitionedRunStatistics:
+    """One run of a partitioned cluster under load."""
+
+    technique: str
+    partition_count: int
+    offered_load_tps: float = 0.0
+    simulated_duration_ms: float = 0.0
+    #: Fast-path (single-partition) population.
+    single: RunStatistics = field(
+        default_factory=lambda: RunStatistics("single-partition"))
+    #: Coordinated (cross-partition) population.
+    cross: RunStatistics = field(
+        default_factory=lambda: RunStatistics("cross-partition"))
+    #: Locally committed transactions per partition (includes the replicated
+    #: copies, so it measures per-group work, not client-visible commits).
+    per_partition_commits: Dict[int, int] = field(default_factory=dict)
+    #: Fast-path arrivals dropped before submission because their whole
+    #: partition was down.  Kept separate from ``single.measured_aborts``
+    #: (which only counts transactions a server answered), so outage
+    #: experiments can see the fast path's losses next to the coordinated
+    #: path's unavailability aborts.
+    rejected_submissions: int = 0
+
+    # -- aggregates ---------------------------------------------------------------------
+    @property
+    def measured_commits(self) -> int:
+        """Client-visible commits of both kinds."""
+        return self.single.measured_commits + self.cross.measured_commits
+
+    @property
+    def measured_aborts(self) -> int:
+        """Client-visible aborts of both kinds."""
+        return self.single.measured_aborts + self.cross.measured_aborts
+
+    @property
+    def achieved_throughput_tps(self) -> float:
+        """Committed transactions per second of simulated time."""
+        if self.simulated_duration_ms <= 0:
+            return 0.0
+        return self.measured_commits / (self.simulated_duration_ms / 1000.0)
+
+    @property
+    def response_times(self) -> List[float]:
+        """Response times of all committed transactions."""
+        return self.single.response_times + self.cross.response_times
+
+    @property
+    def mean_response_time(self) -> float:
+        """Mean response time (ms) across both populations."""
+        times = self.response_times
+        return sum(times) / len(times) if times else 0.0
+
+    @property
+    def cross_partition_ratio(self) -> float:
+        """Fraction of terminated transactions that were cross-partition."""
+        total = (self.single.measured_commits + self.single.measured_aborts +
+                 self.cross.measured_commits + self.cross.measured_aborts)
+        if not total:
+            return 0.0
+        return (self.cross.measured_commits +
+                self.cross.measured_aborts) / total
+
+    def percentile(self, fraction: float) -> float:
+        """Response-time percentile over both populations combined."""
+        return RunStatistics(
+            "merged", response_times=self.response_times).percentile(fraction)
+
+
+def collect_statistics(clients: "PartitionedOpenLoopClients",
+                       duration_ms: float) -> PartitionedRunStatistics:
+    """Summarise one driven run of a partitioned cluster."""
+    cluster = clients.cluster
+    stats = PartitionedRunStatistics(
+        technique="+".join(sorted(set(cluster.techniques))),
+        partition_count=cluster.partition_count,
+        offered_load_tps=clients.load_tps,
+        simulated_duration_ms=duration_ms)
+    # Both populations span the same measured window, so their per-population
+    # achieved_throughput_tps works out of the box.
+    stats.single.simulated_duration_ms = duration_ms
+    stats.cross.simulated_duration_ms = duration_ms
+    for result in clients.single_results:
+        stats.single.record(result)
+    for outcome in clients.cross_results:
+        # record() only reads committed / response_time / abort_reason, all
+        # of which CrossPartitionOutcome provides.
+        stats.cross.record(outcome)
+    stats.per_partition_commits = cluster.commit_counts()
+    stats.rejected_submissions = clients.rejected_count
+    return stats
+
+
+def render_partition_table(rows: Sequence[PartitionedRunStatistics]) -> str:
+    """Text table of a partition-count sweep (one row per run)."""
+    header = (f"{'partitions':>10} | {'offered tps':>11} | "
+              f"{'committed':>9} | {'tput tps':>9} | {'mean rt':>8} | "
+              f"{'p95 rt':>8} | {'cross %':>7}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.partition_count:>10} | {row.offered_load_tps:>11.0f} | "
+            f"{row.measured_commits:>9} | "
+            f"{row.achieved_throughput_tps:>9.1f} | "
+            f"{row.mean_response_time:>8.1f} | "
+            f"{row.percentile(0.95):>8.1f} | "
+            f"{row.cross_partition_ratio:>7.1%}")
+    return "\n".join(lines)

@@ -1,0 +1,210 @@
+"""Partition-aware workload generation and load drivers.
+
+:class:`PartitionedWorkloadGenerator` extends the Table 4 workload model with
+the two knobs the partitioned experiments sweep:
+
+* ``cross_partition_probability`` — the fraction of transactions that span
+  more than one partition (``cross_partition_span`` of them, default 2);
+* ``zipf_skew`` — inherited from :class:`~repro.workload.WorkloadGenerator`:
+  item accesses follow a Zipf distribution over the global item ranking, so a
+  skewed workload concentrates on the hot head of the keyspace.
+
+Every draw comes from named random streams, so two runs with the same seed —
+or two *techniques* compared under the same seed — see exactly the same
+sequence of programs, single- and cross-partition alike.  This extends the
+common-random-numbers discipline of the single-group study to the new
+partition axis.
+
+:class:`PartitionedOpenLoopClients` is the open-loop (Poisson arrivals)
+driver for a :class:`~repro.partition.cluster.PartitionedCluster`; it is the
+partitioned counterpart of
+:class:`~repro.workload.clients.OpenLoopClientPool`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from ..db.operations import Operation, OperationType, TransactionProgram
+from ..replication.results import TransactionResult
+from ..sim.engine import Simulator
+from ..workload.generator import WorkloadGenerator, zipf_cumulative
+from ..workload.params import SimulationParameters
+from .coordinator import CrossPartitionOutcome
+from .partitioner import Partitioner
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .cluster import PartitionedCluster
+
+
+class PartitionedWorkloadGenerator(WorkloadGenerator):
+    """Table 4 transactions, confined to or deliberately spanning partitions."""
+
+    def __init__(self, sim: Simulator, params: SimulationParameters,
+                 partitioner: Partitioner,
+                 item_keys: Optional[Sequence[str]] = None,
+                 stream_prefix: str = "workload",
+                 skew: Optional[float] = None) -> None:
+        super().__init__(sim, params, item_keys=item_keys,
+                         stream_prefix=stream_prefix, skew=skew)
+        self.partitioner = partitioner
+        if not 0.0 <= params.cross_partition_probability <= 1.0:
+            raise ValueError("cross-partition probability out of range")
+        self._keys_by_partition: Dict[int, List[str]] = \
+            partitioner.partition_keys(self.item_keys)
+        empty = [pid for pid in range(partitioner.partition_count)
+                 if not self._keys_by_partition.get(pid)]
+        if empty:
+            raise ValueError(
+                f"partitions {empty} own no items; use more items or fewer "
+                f"partitions")
+        # Per-partition cumulative weight tables for skewed draws: each key
+        # keeps the weight of its *global* rank, so restricting a transaction
+        # to one partition preserves the shape of the hot set.
+        self._cumulative_by_partition: Dict[int, List[float]] = {}
+        if self.skew > 0:
+            global_rank = {key: index for index, key in
+                           enumerate(self.item_keys)}
+            for partition_id, keys in self._keys_by_partition.items():
+                total = 0.0
+                cumulative: List[float] = []
+                for key in keys:
+                    total += (global_rank[key] + 1) ** -self.skew
+                    cumulative.append(total)
+                self._cumulative_by_partition[partition_id] = cumulative
+        #: Statistics.
+        self.single_partition_generated = 0
+        self.cross_partition_generated = 0
+
+    # -- generation ----------------------------------------------------------------------
+    def next_program(self, client: str = "client") -> TransactionProgram:
+        """Generate the next (single- or cross-partition) program.
+
+        A single-partition program draws every key from the *global* item
+        distribution: the first draw decides the home partition (so a hot
+        partition attracts proportionally more transactions), and each later
+        operation draws within the home partition with its keys' global rank
+        mass.  Summed over partitions this makes every operation's marginal
+        distribution exactly the global (uniform or Zipf) one — partitioning
+        changes *where* keys live, not *how often* each is accessed.
+        Cross-partition programs pin one operation to each
+        of ``cross_partition_span`` uniformly sampled partitions and spread
+        the rest across the involved set.
+        """
+        length = self.sim.random.randint(
+            f"{self.stream_prefix}.length",
+            self.params.transaction_length_min,
+            self.params.transaction_length_max)
+        span = min(self.params.cross_partition_span,
+                   self.partitioner.partition_count, length)
+        cross = span >= 2 and self.sim.random.bernoulli(
+            f"{self.stream_prefix}.xpartition",
+            self.params.cross_partition_probability)
+        first_key: Optional[str] = None
+        if cross:
+            self.cross_partition_generated += 1
+            partition_ids = self.sim.random.sample(
+                f"{self.stream_prefix}.xpartition.members",
+                range(self.partitioner.partition_count), span)
+        else:
+            self.single_partition_generated += 1
+            first_key = self.choose_key()
+            partition_ids = [self.partitioner.partition_of(first_key)]
+
+        operations: List[Operation] = []
+        for position in range(length):
+            if first_key is not None and position == 0:
+                key = first_key
+            else:
+                if position < len(partition_ids):
+                    # Pinned: one operation per involved partition guarantees
+                    # the program genuinely spans all of them.
+                    partition_id = partition_ids[position]
+                else:
+                    partition_id = self.sim.random.choice(
+                        f"{self.stream_prefix}.op_partition", partition_ids)
+                key = self.choose_key(
+                    keys=self._keys_by_partition[partition_id],
+                    cumulative=self._cumulative_by_partition.get(partition_id))
+            is_write = self.sim.random.bernoulli(
+                f"{self.stream_prefix}.write", self.params.write_probability)
+            if is_write:
+                operations.append(Operation(OperationType.WRITE, key,
+                                            value=f"{client}@{position}"))
+            else:
+                operations.append(Operation(OperationType.READ, key))
+        self.generated_count += 1
+        return TransactionProgram(operations=tuple(operations), client=client)
+
+
+class PartitionedOpenLoopClients:
+    """Poisson arrivals at a fixed system-wide rate against a partitioned cluster."""
+
+    def __init__(self, cluster: "PartitionedCluster", load_tps: float,
+                 warmup: float = 0.0) -> None:
+        if load_tps <= 0:
+            raise ValueError("load must be positive")
+        self.cluster = cluster
+        self.sim: Simulator = cluster.sim
+        self.workload: PartitionedWorkloadGenerator = cluster.workload
+        self.load_tps = load_tps
+        self.warmup = warmup
+        self._next_client = 0
+        #: Fast-path results observed after warm-up.
+        self.single_results: List[TransactionResult] = []
+        #: Cross-partition outcomes observed after warm-up.
+        self.cross_results: List[CrossPartitionOutcome] = []
+        self.warmup_count = 0
+        self.submitted_count = 0
+        #: Arrivals dropped because no delegate was reachable.
+        self.rejected_count = 0
+
+    def start(self) -> None:
+        """Start the arrival process."""
+        self.sim.spawn(self._arrivals(), name="clients.partitioned_open_loop")
+
+    def _arrivals(self):
+        while True:
+            gap = self.workload.interarrival_time(self.load_tps)
+            yield self.sim.timeout(gap)
+            client_index = self._next_client
+            self._next_client += 1
+            program = self.workload.next_program(
+                client=f"client-{client_index}")
+            self.sim.spawn(self._one_transaction(program, client_index),
+                           name=f"client.txn.{program.program_id}")
+
+    def _one_transaction(self, program: TransactionProgram,
+                         client_index: int):
+        submitted_at = self.sim.now
+        try:
+            event = self.cluster.submit(program, client_index=client_index)
+        except RuntimeError:
+            # Every server of the owning partition is down right now.
+            self.rejected_count += 1
+            return
+        self.submitted_count += 1
+        outcome = yield event
+        if submitted_at < self.warmup:
+            self.warmup_count += 1
+            return
+        if isinstance(outcome, CrossPartitionOutcome):
+            self.cross_results.append(outcome)
+        else:
+            self.single_results.append(outcome)
+
+    # -- derived statistics -------------------------------------------------------------
+    @property
+    def results(self) -> List[object]:
+        """All post-warm-up results (fast path first, then cross-partition)."""
+        return list(self.single_results) + list(self.cross_results)
+
+    @property
+    def committed_count(self) -> int:
+        """Committed transactions of both kinds after warm-up."""
+        return sum(1 for result in self.results if result.committed)
+
+    def response_times(self, committed_only: bool = True) -> List[float]:
+        """Response times (ms) of post-warm-up transactions."""
+        return [result.response_time for result in self.results
+                if result.committed or not committed_only]

@@ -60,7 +60,9 @@ class ReplicatedDatabaseCluster:
                  seed: int = 0, sim: Optional[Simulator] = None,
                  routing: str = "update-everywhere",
                  primary: Optional[str] = None,
-                 gcs_delivery_log_time: float = 0.0) -> None:
+                 gcs_delivery_log_time: float = 0.0,
+                 lan: Optional[Lan] = None,
+                 name_prefix: str = "") -> None:
         if technique not in TECHNIQUES:
             raise ValueError(
                 f"unknown technique {technique!r}; expected one of {TECHNIQUES}")
@@ -68,7 +70,12 @@ class ReplicatedDatabaseCluster:
         self.params = params or SimulationParameters.paper()
         self.sim = sim or Simulator(seed=seed)
         self.routing: RoutingPolicy = make_routing(routing, primary)
-        self.lan = Lan(self.sim, latency=self.params.network_latency)
+        #: Prefix prepended to every server name; lets several replica groups
+        #: (e.g. the partitions of :class:`~repro.partition.PartitionedCluster`)
+        #: coexist on one shared LAN without name collisions.
+        self.name_prefix = name_prefix
+        self.lan = lan if lan is not None \
+            else Lan(self.sim, latency=self.params.network_latency)
         self.nodes: Dict[str, Node] = {}
         self.databases: Dict[str, LocalDatabase] = {}
         self.replicas: Dict[str, ReplicaServer] = {}
@@ -76,7 +83,8 @@ class ReplicatedDatabaseCluster:
         self.gcs: Optional[GroupCommunicationSystem] = None
         self._started = False
 
-        for name in self.params.server_names():
+        for base_name in self.params.server_names():
+            name = f"{name_prefix}{base_name}"
             node = Node(self.sim, name,
                         cpus=self.params.cpus_per_server,
                         disks=self.params.disks_per_server,
@@ -125,7 +133,7 @@ class ReplicatedDatabaseCluster:
         if self.technique == "2-safe":
             return TwoSafeReplica(self.sim, node, database, dispatcher,
                                   self.params, self.gcs.endpoint(name))
-        peer_names = self.params.server_names()
+        peer_names = list(self.nodes)
         if self.technique == "1-safe":
             return LazyReplica(self.sim, node, database, dispatcher,
                                self.params, self.lan, peer_names)

@@ -96,7 +96,13 @@ class RunStatistics:
         return self.measured_commits / (self.simulated_duration_ms / 1000.0)
 
     def percentile(self, fraction: float) -> float:
-        """Response-time percentile (linear interpolation)."""
+        """Response-time percentile (linear interpolation).
+
+        ``fraction`` must lie in ``[0, 1]``; an empty sample yields 0.0.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(
+                f"percentile fraction must be in [0, 1], got {fraction!r}")
         if not self.response_times:
             return 0.0
         ordered = sorted(self.response_times)

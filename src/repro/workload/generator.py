@@ -10,10 +10,18 @@ All draws come from dedicated named random streams of the simulator, so two
 techniques evaluated with the same seed receive exactly the same sequence of
 transaction programs — the common-random-numbers discipline that makes the
 Fig. 9 comparison fair.
+
+Beyond the paper's uniform access model, the generator supports a Zipf-skewed
+item distribution (``zipf_skew`` in :class:`SimulationParameters`): with skew
+``s > 0`` item ``item-i`` is accessed with probability proportional to
+``1 / (i + 1) ** s``, producing the hot-spot workloads used by the
+partitioned-replication experiments.  Skew 0 reproduces the original uniform
+draws bit-for-bit.
 """
 
 from __future__ import annotations
 
+import bisect
 from typing import List, Optional, Sequence
 
 from ..db.operations import Operation, OperationType, TransactionProgram
@@ -26,7 +34,8 @@ class WorkloadGenerator:
 
     def __init__(self, sim: Simulator, params: SimulationParameters,
                  item_keys: Optional[Sequence[str]] = None,
-                 stream_prefix: str = "workload") -> None:
+                 stream_prefix: str = "workload",
+                 skew: Optional[float] = None) -> None:
         self.sim = sim
         self.params = params
         self.stream_prefix = stream_prefix
@@ -37,8 +46,35 @@ class WorkloadGenerator:
                               for index in range(params.item_count)]
         if not self.item_keys:
             raise ValueError("the workload needs at least one item")
+        #: Zipf skew of item accesses (0 = the paper's uniform model).
+        self.skew = params.zipf_skew if skew is None else skew
+        if self.skew < 0:
+            raise ValueError(f"zipf skew must be non-negative, got {self.skew!r}")
+        self._cumulative = (zipf_cumulative(len(self.item_keys), self.skew)
+                            if self.skew > 0 else None)
         #: Number of programs generated so far.
         self.generated_count = 0
+
+    # -- item selection ----------------------------------------------------------------
+    def choose_key(self, keys: Optional[Sequence[str]] = None,
+                   cumulative: Optional[Sequence[float]] = None) -> str:
+        """Draw one item key from the (possibly Zipf-skewed) access distribution.
+
+        Without arguments the draw is over the generator's whole keyspace;
+        subclasses pass a restricted ``keys`` population (with its matching
+        ``cumulative`` weight table when skewed) to confine a transaction to
+        one partition.  All draws consume the same named stream, so the
+        common-random-numbers discipline is preserved.
+        """
+        population = self.item_keys if keys is None else keys
+        weights = self._cumulative if keys is None else cumulative
+        if weights is None:
+            return self.sim.random.choice(f"{self.stream_prefix}.item",
+                                          population)
+        position = self.sim.random.uniform(f"{self.stream_prefix}.item",
+                                           0.0, weights[-1])
+        index = bisect.bisect_left(weights, position)
+        return population[min(index, len(population) - 1)]
 
     # -- single transactions ---------------------------------------------------------
     def next_program(self, client: str = "client") -> TransactionProgram:
@@ -49,8 +85,7 @@ class WorkloadGenerator:
             self.params.transaction_length_max)
         operations: List[Operation] = []
         for position in range(length):
-            key = self.sim.random.choice(f"{self.stream_prefix}.item",
-                                         self.item_keys)
+            key = self.choose_key()
             is_write = self.sim.random.bernoulli(
                 f"{self.stream_prefix}.write", self.params.write_probability)
             if is_write:
@@ -73,8 +108,7 @@ class WorkloadGenerator:
         """
         operations = []
         for position in range(write_count):
-            key = self.sim.random.choice(f"{self.stream_prefix}.item",
-                                         self.item_keys)
+            key = self.choose_key()
             operations.append(Operation(OperationType.WRITE, key,
                                         value=f"{client}@{position}"))
         self.generated_count += 1
@@ -96,3 +130,19 @@ class WorkloadGenerator:
         rate_per_ms = load_tps / 1000.0
         return self.sim.random.expovariate(f"{self.stream_prefix}.arrival",
                                            rate_per_ms)
+
+
+def zipf_cumulative(population_size: int, skew: float) -> List[float]:
+    """Cumulative (unnormalised) Zipf weights for ranks ``1..population_size``.
+
+    Rank ``r`` carries weight ``r ** -skew``; drawing a uniform position in
+    ``[0, total]`` and bisecting into this table samples the distribution.
+    """
+    if population_size <= 0:
+        raise ValueError("population must be non-empty")
+    cumulative: List[float] = []
+    total = 0.0
+    for rank in range(1, population_size + 1):
+        total += rank ** -skew
+        cumulative.append(total)
+    return cumulative

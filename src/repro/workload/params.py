@@ -72,6 +72,19 @@ class SimulationParameters:
     #: Failure-detection delay of the (perfect) failure detector (ms).
     failure_detection_delay: float = 1.0
 
+    # -- partitioned-replication knobs (not in the paper) ---------------------------
+    #: Number of independent replica groups the keyspace is sharded across.
+    #: 1 reproduces the paper's single-group system exactly.
+    partition_count: int = 1
+    #: Probability that a generated transaction spans more than one partition
+    #: (routed through the cross-partition 2PC coordinator).
+    cross_partition_probability: float = 0.0
+    #: Number of partitions a cross-partition transaction touches.
+    cross_partition_span: int = 2
+    #: Zipf skew exponent of item access (0 = uniform, the paper's model;
+    #: larger values concentrate accesses on a hot set of items).
+    zipf_skew: float = 0.0
+
     # -- convenience constructors -----------------------------------------------------
     @classmethod
     def paper(cls) -> "SimulationParameters":
