@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart for online rebalancing with the epoch-versioned routing table.
+
+The example range-shards a Zipf-skewed keyspace across four replica groups —
+so the hot head of the keyspace all lands on partition 0, which saturates —
+then, mid-run and under sustained load, calls ``cluster.rebalance()``: the
+hot shard is split at its access-weighted median and the head is live-
+migrated (state-transfer copy, dual-write window, brief write fence,
+force-logged epoch bump) to the least-loaded group.  It prints:
+
+* committed throughput before / during / after the move, against the
+  identically seeded static baseline,
+* the migration protocol's own telemetry (copy sizes, fence duration,
+  forwarded dual-writes, the new epoch),
+* the per-key commit audit: zero lost and zero duplicated commits.
+
+Run it with::
+
+    python examples/rebalance_quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (render_rebalance_report,
+                               run_rebalance_experiment)
+
+
+def main() -> None:
+    print("Static baseline (range sharding, Zipf skew 1.1, 150 tps offered)"
+          " ...")
+    static = run_rebalance_experiment(rebalance=False)
+    print("Same seed, rebalancing the hot head mid-run ...\n")
+    rebalanced = run_rebalance_experiment(rebalance=True)
+
+    print(render_rebalance_report(static, rebalanced))
+
+    migration = rebalanced.migration
+    print()
+    if migration is None or not migration.completed:
+        print("The migration did not complete — see the report above.")
+        return
+    gain = rebalanced.after_tput / static.after_tput if static.after_tput \
+        else float("inf")
+    print(f"Moving {migration.key_range.width} hot keys off group "
+          f"{migration.source_group} multiplied post-rebalance committed "
+          f"throughput by {gain:.1f}x.")
+    print(f"Routing epochs travelled: 0 -> {migration.epoch} "
+          f"(split + migrate), "
+          f"{rebalanced.wrong_epoch_retries} submissions retried while "
+          f"ownership moved.")
+    if rebalanced.audit_ok and static.audit_ok:
+        print("Per-key commit audit: zero lost, zero duplicated commits.")
+    else:
+        print("Per-key commit audit FAILED:")
+        for failure in (static.audit_failures +
+                        rebalanced.audit_failures)[:10]:
+            print(f"  - {failure}")
+
+
+if __name__ == "__main__":
+    main()

@@ -39,6 +39,11 @@ class LogRecordType(Enum):
     #: transaction commit: recovery redo, the safety audit and
     #: ``committed_transactions()`` all ignore it.
     DECISION = "decision"
+    #: Ownership-map version record of the epoch-versioned routing table.
+    #: Force-logged before a shard migration installs the new map, so a
+    #: restarted cluster recovers a consistent ownership map.  Like DECISION
+    #: it is not a transaction commit and is ignored by redo and the audit.
+    EPOCH = "epoch"
 
 
 @dataclass
@@ -99,6 +104,12 @@ class WriteAheadLog:
     def append_decision(self, txn_id: str) -> LogRecord:
         """Append a coordinator decision record for ``txn_id``."""
         return self.append(LogRecord(LogRecordType.DECISION, txn_id))
+
+    def append_epoch(self, epoch: int,
+                     payload: Dict[str, object]) -> LogRecord:
+        """Append a routing-table epoch record (serialised ownership map)."""
+        return self.append(LogRecord(LogRecordType.EPOCH, f"epoch-{epoch}",
+                                     payload=dict(payload)))
 
     # -- flush ------------------------------------------------------------------
     def _flush_duration(self) -> float:

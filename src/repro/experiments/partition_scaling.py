@@ -38,6 +38,8 @@ class PartitionPoint:
     cross_partition_probability: float
     offered_load_tps: float
     statistics: PartitionedRunStatistics
+    #: Number of partitions each cross-partition transaction touches.
+    cross_partition_span: int = 2
 
     @property
     def achieved_throughput_tps(self) -> float:
@@ -54,6 +56,7 @@ def run_partition_point(technique: str = "group-safe",
                         partition_count: int = 1,
                         load_tps: float = DEFAULT_LOAD_TPS,
                         cross_partition_probability: float = 0.0,
+                        cross_partition_span: Optional[int] = None,
                         duration_ms: float = 12_000.0,
                         warmup_ms: float = 2_000.0,
                         seed: int = 21,
@@ -65,18 +68,29 @@ def run_partition_point(technique: str = "group-safe",
     parameters = parameters.with_overrides(
         partition_count=partition_count,
         cross_partition_probability=cross_partition_probability)
+    if cross_partition_span is not None:
+        parameters = parameters.with_overrides(
+            cross_partition_span=cross_partition_span)
     cluster = PartitionedCluster(technique, params=parameters, seed=seed)
     cluster.start()
     clients = PartitionedOpenLoopClients(cluster, load_tps=load_tps,
                                          warmup=warmup_ms)
     clients.start()
+    cluster.run(until=warmup_ms)
+    warmup_commits = cluster.commit_counts()
     cluster.run(until=duration_ms)
     statistics = collect_statistics(clients,
                                     duration_ms=duration_ms - warmup_ms)
+    # Local commits are counted since t=0; restrict them to the measured
+    # window so work-per-commit ratios compare like with like.
+    statistics.per_partition_commits = {
+        partition_id: count - warmup_commits.get(partition_id, 0)
+        for partition_id, count in statistics.per_partition_commits.items()}
     return PartitionPoint(
         partition_count=partition_count, technique=technique,
         cross_partition_probability=cross_partition_probability,
-        offered_load_tps=load_tps, statistics=statistics)
+        offered_load_tps=load_tps, statistics=statistics,
+        cross_partition_span=parameters.cross_partition_span)
 
 
 def partition_sweep(partition_counts: Sequence[int] = PARTITION_COUNTS,
@@ -93,6 +107,70 @@ def partition_sweep(partition_counts: Sequence[int] = PARTITION_COUNTS,
         cross_partition_probability=cross_partition_probability,
         duration_ms=duration_ms, seed=seed, params=params)
         for count in partition_counts]
+
+
+#: Spans swept by default for the 2PC work-amplification curve.
+SPAN_VALUES = (2, 3, 4)
+
+
+def span_sweep(spans: Sequence[int] = SPAN_VALUES,
+               partition_count: int = 4,
+               technique: str = "group-safe",
+               load_tps: float = 60.0,
+               cross_partition_probability: float = 0.3,
+               duration_ms: float = 12_000.0,
+               seed: int = 21,
+               params: Optional[SimulationParameters] = None
+               ) -> List[PartitionPoint]:
+    """Sweep the cross-partition span at a fixed offered load.
+
+    A transaction touching ``span`` partitions costs one prepare, one forced
+    decision log and ``span`` branch installs — each install replicated on
+    every server of its group — so the local work behind one committed
+    cross-partition transaction grows linearly with the span.  This sweep
+    measures that amplification directly (the ROADMAP "multi-span
+    transactions" item).
+    """
+    points = []
+    for span in spans:
+        if not 2 <= span <= partition_count:
+            raise ValueError(
+                f"span {span} out of range [2, {partition_count}]")
+        points.append(run_partition_point(
+            technique=technique, partition_count=partition_count,
+            load_tps=load_tps,
+            cross_partition_probability=cross_partition_probability,
+            cross_partition_span=span, duration_ms=duration_ms, seed=seed,
+            params=params))
+    return points
+
+
+def work_per_commit(point: PartitionPoint) -> float:
+    """Local (per-server, per-group) commits behind one client commit."""
+    local_work = sum(point.statistics.per_partition_commits.values())
+    if not point.statistics.measured_commits:
+        return 0.0
+    return local_work / point.statistics.measured_commits
+
+
+def render_span_sweep(points: Sequence[PartitionPoint]) -> str:
+    """Text rendering of a cross-partition span sweep."""
+    header = (f"{'span':>4} | {'xpart %':>7} | {'offered':>8} | "
+              f"{'tput tps':>9} | {'cross tput':>10} | {'mean rt':>8} | "
+              f"{'work/commit':>11} | {'validation aborts':>17}")
+    lines = [header, "-" * len(header)]
+    for point in points:
+        stats = point.statistics
+        lines.append(
+            f"{point.cross_partition_span:>4} | "
+            f"{point.cross_partition_probability:>7.0%} | "
+            f"{point.offered_load_tps:>8.0f} | "
+            f"{stats.achieved_throughput_tps:>9.1f} | "
+            f"{stats.cross.achieved_throughput_tps:>10.1f} | "
+            f"{stats.mean_response_time:>8.1f} | "
+            f"{work_per_commit(point):>11.2f} | "
+            f"{stats.cross.abort_reasons.get('xpartition-validation', 0):>17}")
+    return "\n".join(lines)
 
 
 def render_partition_sweep(points: Sequence[PartitionPoint]) -> str:

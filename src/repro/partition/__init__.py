@@ -3,40 +3,60 @@
 The paper studies one replica group whose throughput is capped by a single
 total-order broadcast domain.  This package grows the system past that
 ceiling: the keyspace is sharded across several independent groups — each
-running its own group-communication system and safety technique — and a
+running its own group-communication system and safety technique — a
 two-phase commit coordinator provides atomicity for the transactions that
-span shards.
+span shards, and an **epoch-versioned routing table** makes ownership live
+state: shards split, merge and migrate between groups while the load
+drivers keep submitting.
 
-* :mod:`~repro.partition.partitioner` — hash and range key -> partition maps;
-* :mod:`~repro.partition.router` — single- vs. multi-partition classification
-  and program splitting;
+* :mod:`~repro.partition.routing` — the epoch-versioned ownership map:
+  key-range -> group assignments, split/merge/migrate, fences,
+  WAL-recoverable epoch bumps;
+* :mod:`~repro.partition.partitioner` — the deprecated static hash/range
+  partitioners, kept as thin shims over epoch-0 routing tables;
+* :mod:`~repro.partition.router` — snapshot-based single- vs.
+  multi-partition classification and program splitting;
 * :mod:`~repro.partition.coordinator` — the cross-partition atomic-commit
-  protocol (2PC whose participants are replica groups);
-* :mod:`~repro.partition.cluster` — the :class:`PartitionedCluster` facade;
+  protocol (2PC whose participants are replica groups, with branch-epoch
+  validation and crash-recovery decision replay);
+* :mod:`~repro.partition.cluster` — the :class:`PartitionedCluster` facade,
+  including the live-migration driver and the :meth:`~repro.partition.
+  cluster.PartitionedCluster.rebalance` entry point;
 * :mod:`~repro.partition.workload` — partition-aware workload generation and
-  the open-loop load driver;
+  the open- and closed-loop load drivers;
 * :mod:`~repro.partition.stats` — aggregated run statistics.
 """
 
-from .cluster import PartitionedCluster
+from .cluster import MigrationReport, PartitionedCluster
 from .coordinator import (ABORT_TIMEOUT, ABORT_UNAVAILABLE, ABORT_VALIDATION,
-                          BranchOutcome, CrossPartitionCoordinator,
-                          CrossPartitionOutcome)
+                          ABORT_WRONG_EPOCH, BranchOutcome,
+                          CrossPartitionCoordinator, CrossPartitionOutcome)
 from .partitioner import (STRATEGIES, HashPartitioner, Partitioner,
                           RangePartitioner, make_partitioner)
 from .router import TransactionRouter
+from .routing import (KeyRange, RoutingSnapshot, RoutingTable,
+                      ShardAssignment, WrongEpochError, position_of_key)
 from .stats import (PartitionedRunStatistics, collect_statistics,
                     render_partition_table)
-from .workload import PartitionedOpenLoopClients, PartitionedWorkloadGenerator
+from .workload import (PartitionedClosedLoopClients, PartitionedOpenLoopClients,
+                       PartitionedWorkloadGenerator)
 
 __all__ = [
     "PartitionedCluster",
+    "MigrationReport",
     "CrossPartitionCoordinator",
     "CrossPartitionOutcome",
     "BranchOutcome",
     "ABORT_VALIDATION",
     "ABORT_TIMEOUT",
     "ABORT_UNAVAILABLE",
+    "ABORT_WRONG_EPOCH",
+    "RoutingTable",
+    "RoutingSnapshot",
+    "ShardAssignment",
+    "KeyRange",
+    "WrongEpochError",
+    "position_of_key",
     "Partitioner",
     "HashPartitioner",
     "RangePartitioner",
@@ -45,6 +65,7 @@ __all__ = [
     "TransactionRouter",
     "PartitionedWorkloadGenerator",
     "PartitionedOpenLoopClients",
+    "PartitionedClosedLoopClients",
     "PartitionedRunStatistics",
     "collect_statistics",
     "render_partition_table",

@@ -9,11 +9,33 @@ domain that caps the throughput of the paper's system: partitions order and
 apply their transactions independently, so capacity grows with the partition
 count as long as transactions stay within one partition.
 
+Ownership of the keyspace is *live state*: an epoch-versioned
+:class:`~repro.partition.routing.RoutingTable` maps key ranges to groups and
+supports online :meth:`split_shard` / :meth:`merge_shards` /
+:meth:`migrate`, all while the load drivers keep submitting.  Migration is a
+mini-protocol layered on the existing pieces:
+
+1. **Copy.**  The range's items are read on a source delegate and installed
+   on the destination group as ordinary update-only transactions through the
+   group's *own* replication technique — so the copy is exactly as durable
+   and as replicated as any transaction of that group.
+2. **Dual-write window.**  From the moment the migration starts, every
+   client or 2PC write that commits into the migrating range on the source
+   is forwarded to the destination the same way, keeping the copy fresh.
+3. **Fence.**  A brief write fence refuses new submissions into the range
+   (:class:`~repro.partition.routing.WrongEpochError`; the submission path
+   retries), in-flight writers are drained, and a delta pass re-copies every
+   key whose version moved since the warm copy.
+4. **Epoch bump.**  The *new* ownership map is force-logged (an ``EPOCH``
+   write-ahead-log record) on the destination delegate before it is
+   installed — so a crash mid-migration recovers to a consistent map: old
+   owner before the record is durable, new owner after.
+
 Single-partition transactions are routed straight to the owning group (the
 fast path); transactions spanning several partitions go through the
 :class:`~repro.partition.coordinator.CrossPartitionCoordinator`'s two-phase
 commit, which composes atomicity across shards with each shard's own safety
-level.
+level and validates branch routing epochs at vote collection.
 
 Typical use::
 
@@ -22,18 +44,22 @@ Typical use::
 
     params = SimulationParameters.small().with_overrides(
         partition_count=4, cross_partition_probability=0.1)
-    cluster = PartitionedCluster("group-safe", params=params, seed=42)
+    cluster = PartitionedCluster("group-safe", params=params, seed=42,
+                                 strategy="range")
     cluster.start()
     outcome = cluster.run_transaction(cluster.workload.next_program())
+    cluster.rebalance()                  # move the hottest half-shard away
     cluster.run(until=5_000)
     print(outcome.value)
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..db.operations import TransactionProgram
+from ..db.operations import Operation, OperationType, TransactionProgram
+from ..db.wal import LogRecord
 from ..network.lan import Lan
 from ..replication.cluster import TECHNIQUES, ReplicatedDatabaseCluster
 from ..replication.results import TransactionResult
@@ -41,14 +67,78 @@ from ..sim.engine import Simulator
 from ..sim.events import Event
 from ..sim.process import Process
 from ..workload.params import SimulationParameters
-from .coordinator import CrossPartitionCoordinator, CrossPartitionOutcome
-from .partitioner import Partitioner, make_partitioner
+from .coordinator import (ABORT_WRONG_EPOCH, CrossPartitionCoordinator,
+                          CrossPartitionOutcome)
+from .routing import KeyRange, RoutingTable, WrongEpochError
 from .router import TransactionRouter
 from .workload import PartitionedWorkloadGenerator
 
 
+@dataclass
+class MigrationReport:
+    """Everything one live migration did, for the experiments and tests."""
+
+    key_range: KeyRange
+    source_group: int
+    destination_group: int
+    started_at: float
+    fence_started_at: float = 0.0
+    completed_at: float = 0.0
+    aborted: bool = False
+    abort_reason: Optional[str] = None
+    #: Keys installed by the warm copy pass.
+    keys_copied: int = 0
+    #: Keys re-copied by the under-fence delta pass.
+    delta_keys_copied: int = 0
+    #: Client/2PC writes forwarded to the destination during the window.
+    forwarded_writes: int = 0
+    #: True once the under-fence source/destination comparison matched.
+    verified: bool = False
+    #: Epoch installed by the bump (None if the migration aborted).
+    epoch: Optional[int] = None
+
+    @property
+    def completed(self) -> bool:
+        """True if the migration installed its epoch bump."""
+        return self.epoch is not None
+
+    @property
+    def duration_ms(self) -> float:
+        """Wall-clock (simulated) duration of the whole migration."""
+        end = self.completed_at or self.fence_started_at or self.started_at
+        return end - self.started_at
+
+    @property
+    def fence_duration_ms(self) -> float:
+        """How long new writes to the range were fenced out."""
+        if not self.fence_started_at or not self.completed_at:
+            return 0.0
+        return self.completed_at - self.fence_started_at
+
+
+@dataclass
+class _MigrationEntry:
+    """Book-keeping of one in-flight migration (dual-writes, drain)."""
+
+    key_range: KeyRange
+    source_group: int
+    destination_group: int
+    report: MigrationReport
+    inflight: List[Process] = field(default_factory=list)
+    active: bool = True
+
+
 class PartitionedCluster:
     """Several independent replica groups sharing one simulated world."""
+
+    #: Base backoff between wrong-epoch submission retries (ms); grows
+    #: linearly with the attempt, capped at the max.  The budget must ride
+    #: out a whole migration fence (typically the residual response time of
+    #: the source shard), not just a metadata bump.
+    WRONG_EPOCH_RETRY_BACKOFF = 5.0
+    WRONG_EPOCH_MAX_BACKOFF = 50.0
+    #: Submission attempts before a wrong-epoch retry gives up.
+    WRONG_EPOCH_MAX_RETRIES = 100
 
     def __init__(self, technique: str = "group-safe",
                  params: Optional[SimulationParameters] = None,
@@ -75,9 +165,11 @@ class PartitionedCluster:
                 raise ValueError(
                     f"unknown technique {name!r}; expected one of {TECHNIQUES}")
         self.techniques = techniques
+        self.strategy = strategy
         self.sim = sim or Simulator(seed=seed)
         self.lan = Lan(self.sim, latency=self.params.network_latency)
-        self.partitioner: Partitioner = make_partitioner(
+        #: The live, epoch-versioned ownership map.
+        self.routing: RoutingTable = RoutingTable.from_strategy(
             strategy, self.partition_count, self.params.item_count)
         #: One full replica group per partition, named ``p<id>.s<j>``.
         self.groups: List[ReplicatedDatabaseCluster] = [
@@ -86,23 +178,41 @@ class PartitionedCluster:
                 lan=self.lan, routing=routing,
                 name_prefix=f"p{partition_id}.")
             for partition_id, group_technique in enumerate(techniques)]
-        self.router = TransactionRouter(self.partitioner)
+        self.router = TransactionRouter(self.routing)
         self.workload = PartitionedWorkloadGenerator(
-            self.sim, self.params, self.partitioner)
+            self.sim, self.params, self.routing)
         self.coordinator = CrossPartitionCoordinator(self)
+        #: In-flight migrations (dual-write registration, fence drains).
+        self._migrations: List[_MigrationEntry] = []
+        #: Per-group submissions whose response has not fired yet.  A
+        #: migration starting *now* must dual-write the writes that were
+        #: already in flight on its source group, not just future ones.
+        self._inflight_by_group: Dict[int, List] = {
+            partition_id: [] for partition_id in range(self.partition_count)}
+        #: One report per migration ever started, in start order.
+        self.migration_reports: List[MigrationReport] = []
+        #: Transaction ids of internal migration work (copy chunks and
+        #: forwarded dual-writes) — excluded from fast-path results like the
+        #: coordinator's branch installs.
+        self.migration_txn_ids: set = set()
         self._started = False
 
     # ------------------------------------------------------------------ access
+    @property
+    def partitioner(self) -> RoutingTable:
+        """Deprecated alias: the routing table implements the old protocol."""
+        return self.routing
+
     def group(self, partition_id: int) -> ReplicatedDatabaseCluster:
         """The replica group owning partition ``partition_id``."""
         return self.groups[partition_id]
 
     def partition_of(self, key: str) -> int:
-        """The partition id owning item ``key``."""
-        return self.partitioner.partition_of(key)
+        """The partition id currently owning item ``key``."""
+        return self.routing.partition_of(key)
 
     def group_of(self, key: str) -> ReplicatedDatabaseCluster:
-        """The replica group owning item ``key``."""
+        """The replica group currently owning item ``key``."""
         return self.groups[self.partition_of(key)]
 
     def server_names(self) -> List[str]:
@@ -111,6 +221,15 @@ class PartitionedCluster:
         for group in self.groups:
             names.extend(group.server_names())
         return names
+
+    @property
+    def migration_active(self) -> bool:
+        """True while any live migration is in flight."""
+        return bool(self._migrations)
+
+    def routing_fenced(self, keys) -> bool:
+        """True if any of ``keys`` is inside a write-fenced (migrating) range."""
+        return self.routing.has_fences and self.routing.is_fenced(keys)
 
     # ------------------------------------------------------------------ lifecycle
     def start(self) -> None:
@@ -133,16 +252,87 @@ class PartitionedCluster:
         Returns an event that fires with a
         :class:`~repro.replication.results.TransactionResult` (fast path) or
         a :class:`~repro.partition.coordinator.CrossPartitionOutcome`
-        (coordinated path).
+        (coordinated path).  Raises
+        :class:`~repro.partition.routing.WrongEpochError` when the program
+        touches a range fenced by a live migration — callers retry (see
+        :meth:`submit_retrying`).
         """
-        partitions = self.router.classify(program)
+        keys = [operation.key for operation in program.operations]
+        if self.routing_fenced(keys):
+            raise WrongEpochError(
+                f"program {program.program_id} touches a fenced range of a "
+                f"live migration; retry against the new epoch",
+                epoch_seen=self.routing.epoch, epoch_now=self.routing.epoch)
+        self.routing.note_keys(keys)
+        snapshot = self.router.snapshot()
+        partitions = self.router.classify(program, snapshot=snapshot)
         if len(partitions) == 1:
             group = self.groups[partitions[0]]
             if not group.up_servers():
                 raise RuntimeError(
                     f"partition {partitions[0]} has no live servers")
-            return group.submit(program, client_index=client_index)
-        return self.coordinator.submit(program, client_index=client_index)
+            return self.submit_to_group(partitions[0], program,
+                                        client_index=client_index)
+        return self.coordinator.submit(program, client_index=client_index,
+                                       snapshot=snapshot)
+
+    def submit_to_group(self, partition_id: int, program: TransactionProgram,
+                        server: Optional[str] = None,
+                        client_index: int = 0) -> Event:
+        """Submit ``program`` directly to one group, with dual-write capture.
+
+        Every install path of the cluster — the fast path and the 2PC
+        coordinator's phase-2 branch commits — funnels through here, so a
+        live migration sees *all* writes landing in its range and can
+        forward them to the destination group.
+        """
+        event = self.groups[partition_id].submit(program, server=server,
+                                                 client_index=client_index)
+        inflight = self._inflight_by_group[partition_id]
+        inflight[:] = [(pending_event, pending_program)
+                       for pending_event, pending_program in inflight
+                       if not pending_event.triggered]
+        inflight.append((event, program))
+        if self._migrations:
+            self._register_dual_writes(partition_id, program, event)
+        return event
+
+    def submit_retrying(self, program: TransactionProgram,
+                        client_index: int = 0):
+        """Generator: submit with wrong-epoch retries (live-migration safe).
+
+        Re-routes the program against a fresh snapshot when a fenced range
+        refuses it or the 2PC coordinator aborts it with
+        ``xpartition-wrong-epoch``; returns the final outcome.  A partition
+        with no live servers still raises ``RuntimeError`` synchronously,
+        exactly like :meth:`submit`.
+        """
+        attempt = 0
+        while True:
+            backoff = min(self.WRONG_EPOCH_RETRY_BACKOFF * (attempt + 1),
+                          self.WRONG_EPOCH_MAX_BACKOFF)
+            try:
+                event = self.submit(program, client_index=client_index)
+            except WrongEpochError:
+                attempt += 1
+                self.router.wrong_epoch_retries += 1
+                if attempt > self.WRONG_EPOCH_MAX_RETRIES:
+                    return TransactionResult(
+                        txn_id=f"rejected:{program.program_id}",
+                        committed=False, delegate="",
+                        submitted_at=self.sim.now, responded_at=self.sim.now,
+                        abort_reason="wrong-epoch")
+                yield self.sim.timeout(backoff)
+                continue
+            outcome = yield event
+            if (isinstance(outcome, CrossPartitionOutcome)
+                    and outcome.abort_reason == ABORT_WRONG_EPOCH
+                    and attempt < self.WRONG_EPOCH_MAX_RETRIES):
+                attempt += 1
+                self.router.wrong_epoch_retries += 1
+                yield self.sim.timeout(backoff)
+                continue
+            return outcome
 
     def run_transaction(self, program: TransactionProgram) -> Process:
         """Submit and wrap the wait for the outcome into a process.
@@ -150,20 +340,355 @@ class PartitionedCluster:
         A program whose owning partition has no live servers completes with
         an aborted :class:`~repro.replication.results.TransactionResult`
         (mirroring the coordinated path's unavailability abort) instead of
-        raising inside the simulation.
+        raising inside the simulation; a program whose range is mid-migration
+        is transparently retried against the new epoch.
         """
         def waiter():
             try:
-                event = self.submit(program)
+                outcome = yield from self.submit_retrying(program)
             except RuntimeError:
                 return TransactionResult(
                     txn_id=f"rejected:{program.program_id}", committed=False,
                     delegate="", submitted_at=self.sim.now,
                     responded_at=self.sim.now,
                     abort_reason="partition-unavailable")
-            outcome = yield event
             return outcome
         return self.sim.spawn(waiter(), name=f"client.{program.program_id}")
+
+    # ------------------------------------------------------------------ dual writes
+    def _register_dual_writes(self, partition_id: int,
+                              program: TransactionProgram,
+                              event: Event) -> None:
+        for entry in self._migrations:
+            if entry.active and entry.source_group == partition_id:
+                self._register_dual_write_entry(entry, program, event)
+
+    def _register_dual_write_entry(self, entry: _MigrationEntry,
+                                   program: TransactionProgram,
+                                   event: Event) -> None:
+        moved = {operation.key: operation.value
+                 for operation in program.operations
+                 if operation.is_write and entry.key_range.contains(
+                     self.routing.position_of(operation.key))}
+        if moved:
+            process = self.sim.spawn(
+                self._forward_writes(entry, moved, event),
+                name=f"migration.forward.p{entry.source_group}")
+            entry.inflight.append(process)
+
+    def _forward_writes(self, entry: _MigrationEntry,
+                        values: Dict[str, object], event: Event):
+        """Generator: mirror one committed source write onto the destination.
+
+        Best-effort freshness only — interleavings between forwards and copy
+        chunks are legal because the under-fence delta pass re-copies every
+        key whose source version moved; correctness is anchored there.
+        """
+        result = yield event
+        if not getattr(result, "committed", False) or not entry.active:
+            return
+        entry.report.forwarded_writes += len(values)
+        yield from self._install_on_destination(entry, values)
+
+    def _install_on_destination(self, entry: _MigrationEntry,
+                                values: Dict[str, object],
+                                max_attempts: int = 40):
+        """Generator: install ``values`` via the destination group's own
+        replication technique (update-only, so certification is a
+        deterministic pass).  Returns True once committed."""
+        group = self.groups[entry.destination_group]
+        operations = tuple(Operation(OperationType.WRITE, key, value)
+                           for key, value in values.items())
+        program = TransactionProgram(
+            operations=operations,
+            client=f"migration.g{entry.source_group}"
+                   f"->g{entry.destination_group}")
+        attempt = 0
+        while True:
+            attempt += 1
+            backoff = min(self.coordinator.retry_backoff * attempt,
+                          self.coordinator.max_retry_backoff)
+            up_servers = group.up_servers()
+            if not up_servers:
+                if attempt >= max_attempts:
+                    return False
+                yield self.sim.timeout(backoff)
+                continue
+            try:
+                result = yield group.submit(program, server=up_servers[0])
+            except RuntimeError:
+                yield self.sim.timeout(backoff)
+                continue
+            self.migration_txn_ids.add(result.txn_id)
+            if result.committed:
+                return True
+            if attempt >= max_attempts:
+                return False
+            yield self.sim.timeout(backoff)
+
+    # ------------------------------------------------------------------ migration
+    def migrate(self, shard, destination_group: int, chunk_size: int = 32,
+                fence_timeout: float = 10_000.0) -> Process:
+        """Start a live migration of ``shard`` to ``destination_group``.
+
+        ``shard`` is a shard index or its exact
+        :class:`~repro.partition.routing.KeyRange`.  Returns the driver
+        process; run the simulation to let it finish.  The driver aborts
+        (leaving the old owner authoritative) if either group loses all its
+        servers or the fence drain exceeds ``fence_timeout``.
+        """
+        key_range = self.routing.range_of(shard)
+        source_group = self.routing.owner_of_range(key_range)
+        if not 0 <= destination_group < self.partition_count:
+            raise ValueError(f"unknown group {destination_group!r}")
+        if destination_group == source_group:
+            raise ValueError(
+                f"shard {key_range!r} already lives on group "
+                f"{destination_group}")
+        for entry in self._migrations:
+            if entry.active:
+                raise RuntimeError(
+                    "another migration is in flight; migrations are "
+                    "serialised to keep the force-logged epoch exact")
+        report = MigrationReport(
+            key_range=key_range, source_group=source_group,
+            destination_group=destination_group, started_at=self.sim.now)
+        self.migration_reports.append(report)
+        entry = _MigrationEntry(key_range=key_range,
+                                source_group=source_group,
+                                destination_group=destination_group,
+                                report=report)
+        self._migrations.append(entry)
+        # Writes already in flight on the source when the migration starts
+        # predate the dual-write window; register them retroactively so the
+        # fence drain waits them out and their values reach the destination.
+        for event, program in self._inflight_by_group[source_group]:
+            if not event.triggered:
+                self._register_dual_write_entry(entry, program, event)
+        return self.sim.spawn(
+            self._migration_driver(entry, chunk_size, fence_timeout),
+            name=f"migration.{key_range!r}"
+                 f".g{source_group}->g{destination_group}")
+
+    def _migration_driver(self, entry: _MigrationEntry, chunk_size: int,
+                          fence_timeout: float):
+        report = entry.report
+        source = self.groups[entry.source_group]
+        fenced = False
+        try:
+            # -- phase 1: warm copy (dual-write forwarding already active) --
+            if not source.up_servers():
+                return self._abort_migration(entry, "source-unavailable",
+                                             fenced)
+            delegate = source.up_servers()[0]
+            keys = [key for key in source.database(delegate).items.keys()
+                    if entry.key_range.contains(self.routing.position_of(key))]
+            versions_seen: Dict[str, int] = {}
+            for start in range(0, len(keys), chunk_size):
+                chunk = keys[start:start + chunk_size]
+                up_servers = source.up_servers()
+                if not up_servers:
+                    return self._abort_migration(entry, "source-unavailable",
+                                                 fenced)
+                delegate = up_servers[0]
+                database = source.database(delegate)
+                values: Dict[str, object] = {}
+                try:
+                    for key in chunk:
+                        # Charge the state-transfer read on the source disk.
+                        yield from database.buffer.read_item(key)
+                        values[key] = database.value_of(key)
+                        versions_seen[key] = database.version_of(key)
+                except Exception:
+                    return self._abort_migration(entry, "source-unavailable",
+                                                 fenced)
+                installed = yield from self._install_on_destination(entry,
+                                                                    values)
+                if not installed:
+                    return self._abort_migration(
+                        entry, "destination-unavailable", fenced)
+                report.keys_copied += len(chunk)
+
+            # -- phase 2: fence the range and drain in-flight writers -------
+            self.routing.fence(entry.key_range)
+            fenced = True
+            report.fence_started_at = self.sim.now
+            drained = yield from self._drain_range(
+                entry, deadline=self.sim.now + fence_timeout)
+            if not drained:
+                return self._abort_migration(entry, "fence-timeout", fenced)
+
+            # -- phase 3: delta copy of keys written since the warm pass ----
+            up_servers = source.up_servers()
+            if not up_servers:
+                return self._abort_migration(entry, "source-unavailable",
+                                             fenced)
+            database = source.database(up_servers[0])
+            delta = {key: database.value_of(key) for key in keys
+                     if database.version_of(key) != versions_seen.get(key)}
+            if delta:
+                installed = yield from self._install_on_destination(entry,
+                                                                    delta)
+                if not installed:
+                    return self._abort_migration(
+                        entry, "destination-unavailable", fenced)
+                report.delta_keys_copied = len(delta)
+
+            # -- phase 4: verify the copy under the fence -------------------
+            destination = self.groups[entry.destination_group]
+            if not destination.up_servers():
+                return self._abort_migration(entry,
+                                             "destination-unavailable",
+                                             fenced)
+            destination_db = destination.database(destination.up_servers()[0])
+            report.verified = all(
+                database.value_of(key) == destination_db.value_of(key)
+                for key in keys)
+            if not report.verified:
+                return self._abort_migration(entry, "verification-failed",
+                                             fenced)
+
+            # -- phase 5: force-log the new map, then install it ------------
+            # Write-ahead discipline: the durable EPOCH record must describe
+            # the post-bump map, so it is logged on the destination (the new
+            # authority) *before* the table moves.  A concurrent split/merge
+            # bumping the epoch during the flush re-logs with fresh numbers.
+            while True:
+                payload = self.routing.payload_after_migrate(
+                    entry.key_range, entry.destination_group)
+                logged = yield from self._force_log_epoch(destination_db,
+                                                          payload)
+                if not logged:
+                    return self._abort_migration(
+                        entry, "destination-unavailable", fenced)
+                if self.routing.epoch + 1 == payload["epoch"]:
+                    break
+            if source.up_servers():
+                # Advisory copy on the old owner (flushed with its next
+                # group commit); recovery takes the max epoch anywhere.
+                source.database(source.up_servers()[0]).wal.append_epoch(
+                    payload["epoch"], payload)
+            self.routing.unfence(entry.key_range)
+            fenced = False
+            report.epoch = self.routing.migrate(entry.key_range,
+                                                entry.destination_group)
+            report.completed_at = self.sim.now
+            return report
+        finally:
+            if fenced:
+                self.routing.unfence(entry.key_range)
+            entry.active = False
+            if entry in self._migrations:
+                self._migrations.remove(entry)
+
+    def _abort_migration(self, entry: _MigrationEntry, reason: str,
+                         fenced: bool) -> MigrationReport:
+        """Cancel a migration, leaving the old owner authoritative.
+
+        Safe at any point before the epoch bump: the destination's copy of
+        the range is unreachable garbage (nothing routes there), and the
+        fence — if it was up — is lifted so the source serves again.
+        """
+        report = entry.report
+        report.aborted = True
+        report.abort_reason = reason
+        if fenced:
+            self.routing.unfence(entry.key_range)
+        return report
+
+    def _drain_range(self, entry: _MigrationEntry, deadline: float):
+        """Generator: wait out every writer that can still land in the range.
+
+        Two populations: the dual-write forward processes registered by
+        :meth:`submit_to_group`, and decided 2PC transactions whose phase-2
+        branch installs touch the range (``coordinator.active_installs`` —
+        decided writes cannot be refused, so the range cannot move until
+        they are durable).  Returns False if the deadline passes first.
+        """
+        while True:
+            entry.inflight = [process for process in entry.inflight
+                              if not process.triggered]
+            busy = bool(entry.inflight) or self._pending_installs_touch(entry)
+            if not busy:
+                return True
+            if self.sim.now >= deadline:
+                return False
+            yield self.sim.timeout(1.0)
+
+    def _pending_installs_touch(self, entry: _MigrationEntry) -> bool:
+        for keys in self.coordinator.active_installs.values():
+            for key in keys:
+                if entry.key_range.contains(self.routing.position_of(key)):
+                    return True
+        return False
+
+    def _force_log_epoch(self, database, payload):
+        """Generator: force the EPOCH record to stable storage (True on ok)."""
+        try:
+            database.wal.append_epoch(payload["epoch"], payload)
+            yield from database.wal.flush()
+        except Exception:
+            # The delegate crashed mid-flush; the record is not durable.
+            return False
+        return True
+
+    # ------------------------------------------------------------------ reshaping
+    def split_shard(self, shard, at: Optional[int] = None) -> int:
+        """Split one shard in two (metadata only; same owner, no data moves).
+
+        ``at`` defaults to the access-weighted median when load has been
+        observed, else the midpoint — the skew-aware boundary that cuts a
+        hot Zipf head in half.  Returns the new epoch.
+        """
+        key_range = self.routing.range_of(shard)
+        owner = self.routing.owner_of_range(key_range)
+        if at is None:
+            at = self.routing.hot_split_position(key_range)
+        epoch = self.routing.split(key_range, at=at)
+        self._log_epoch_advisory(owner)
+        return epoch
+
+    def merge_shards(self, left_shard) -> int:
+        """Merge one shard with its right neighbour (same owner only)."""
+        key_range = self.routing.range_of(left_shard)
+        owner = self.routing.owner_of_range(key_range)
+        epoch = self.routing.merge(key_range)
+        self._log_epoch_advisory(owner)
+        return epoch
+
+    def _log_epoch_advisory(self, group_id: int) -> None:
+        """Append (not force) the current map on one delegate's WAL.
+
+        Split and merge do not change ownership, so recovering the previous
+        epoch's map routes identically; the record rides the delegate's next
+        group commit instead of paying a forced flush.
+        """
+        group = self.groups[group_id]
+        up_servers = group.up_servers()
+        if up_servers:
+            group.database(up_servers[0]).wal.append_epoch(
+                self.routing.epoch, self.routing.as_payload())
+
+    def rebalance(self, shard: Optional[int] = None,
+                  destination_group: Optional[int] = None) -> Process:
+        """Move (half of) the hottest shard to the least-loaded group.
+
+        The shard with the most observed accesses is split at its
+        access-weighted median (so each side carries about half the load)
+        and the hot head is migrated — live, under traffic — to the coolest
+        group.  Returns the migration driver process.
+        """
+        index = shard if shard is not None else self.routing.hottest_shard()
+        key_range = self.routing.range_of(index)
+        source = self.routing.owner_of_range(key_range)
+        destination = (destination_group if destination_group is not None
+                       else self.routing.coolest_group(exclude=[source]))
+        if key_range.width >= 2:
+            self.split_shard(key_range)
+            # The low half (the head of the range — the Zipf hot set) keeps
+            # the original index; migrate that one.
+            key_range = self.routing.range_of(index)
+        return self.migrate(key_range, destination)
 
     # ------------------------------------------------------------------ failures
     def crash_server(self, partition_id: int, server: str) -> None:
@@ -175,27 +700,63 @@ class PartitionedCluster:
         self.groups[partition_id].crash_all()
 
     def recover_server(self, partition_id: int, server: str) -> Process:
-        """Recover one server of one partition's group."""
-        return self.groups[partition_id].recover_server(server)
+        """Recover one server, then replay force-logged 2PC decisions on it.
+
+        The replay pass resumes phase 2 of every durable decision whose
+        branches were left unfinished (the coordinator died with this
+        delegate), resolving in-doubt branches and finally answering the
+        blocked clients.
+        """
+        group_recovery = self.groups[partition_id].recover_server(server)
+
+        def recovery():
+            yield group_recovery
+            self.coordinator.replay_decisions(partition_id, server)
+            return group_recovery.value
+        return self.sim.spawn(recovery(),
+                              name=f"recover.p{partition_id}.{server}")
 
     def up_partitions(self) -> List[int]:
         """Ids of partitions with at least one server up."""
         return [partition_id for partition_id, group in enumerate(self.groups)
                 if group.up_servers()]
 
+    # ------------------------------------------------------------------ recovery
+    def stable_log_records(self) -> List[LogRecord]:
+        """Every durable WAL record across every server of every group."""
+        records: List[LogRecord] = []
+        for group in self.groups:
+            for name in group.server_names():
+                records.extend(group.database(name).wal.stable_records())
+        return records
+
+    def recovered_routing(self) -> RoutingTable:
+        """The ownership map a *restarted* cluster would recover and serve.
+
+        Rebuilt purely from stable storage: the highest force-logged EPOCH
+        record wins, falling back to the epoch-0 strategy layout.  This is
+        the crash-consistency contract of live migration — before the bump
+        record is durable the old owner serves, after it the new one.
+        """
+        return RoutingTable.recover(
+            self.stable_log_records(), strategy=self.strategy,
+            group_count=self.partition_count,
+            item_count=self.params.item_count)
+
     # ------------------------------------------------------------------ results
     def all_single_partition_results(self) -> List:
         """Fast-path results across all groups, in response order.
 
-        Excludes the internal update-only transactions the cross-partition
-        coordinator submits to install its branches — those are 2PC work,
-        not client-visible fast-path results.
+        Excludes the internal update-only transactions of the
+        cross-partition coordinator (2PC branch installs) and of the
+        migration machinery (copy chunks and forwarded dual-writes) — those
+        are infrastructure work, not client-visible fast-path results.
         """
-        branch_ids = self.coordinator.branch_txn_ids
+        internal = self.coordinator.branch_txn_ids | self.migration_txn_ids
         results = []
         for group in self.groups:
             results.extend(result for result in group.all_results()
-                           if result.txn_id not in branch_ids)
+                           if result.txn_id not in internal)
         return sorted(results, key=lambda result: result.responded_at)
 
     def cross_partition_outcomes(self) -> List[CrossPartitionOutcome]:
@@ -215,4 +776,4 @@ class PartitionedCluster:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (f"<PartitionedCluster partitions={self.partition_count} "
-                f"techniques={self.techniques}>")
+                f"techniques={self.techniques} epoch={self.routing.epoch}>")

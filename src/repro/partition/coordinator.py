@@ -10,9 +10,13 @@ servers:
    owning group (optimistic, no locks — the same deferred-update discipline as
    the database state machine) and records the versions it observed.  A branch
    votes *yes* iff its delegate was reachable, the reads finished within the
-   prepare timeout, and the recorded versions are still current at vote
+   prepare timeout, the recorded versions are still current at vote
    collection (the certification test of Sect. 2.1 applied at the
-   coordinator).
+   coordinator), **and** the routing snapshot the transaction was split
+   against is still authoritative for the branch's keys — if a shard
+   migration moved (or fenced) ownership under the transaction, the branch
+   votes *no* with the ``xpartition-wrong-epoch`` reason and the submission
+   path retries against the new epoch.
 2. **Decision.**  The coordinator force-logs the global decision on the home
    partition's delegate (the classic 2PC forced write), then
 3. **Commit.**  each branch's write set is submitted to the owning group as an
@@ -30,6 +34,19 @@ client — all-or-nothing holds trivially.  On the commit path a branch that
 aborts locally for transient reasons (a deadlock between two commit branches
 on a lazy partition, a delegate crash) is retried, possibly on another member
 of the group: once the decision is logged, participants must get to commit.
+
+**Coordinator crash and decision replay.**  The coordinator is co-located
+with the home partition's delegate (the server its forced decision record
+lives on).  If that delegate crashes after the decision is durable but
+before every branch is installed, the coordinator *dies with it*: phase 2
+halts and the client blocks — the classic 2PC blocked state.  When the home
+delegate recovers, :meth:`replay_decisions` scans its stable log for
+``DECISION`` records and resumes phase 2 for every decided-but-unfinished
+transaction, finally answering the client.  A decision record whose
+transaction was already reported aborted to the client (the flush raced the
+coordinator's bounded decision wait) is counted as an *orphan decision* and
+reconciled in favour of the client-visible abort — nothing was installed
+during prepare, so the abort answer was truthful.
 
 **Isolation caveat.**  The coordinator guarantees *atomicity* (all-or-nothing
 across partitions) and per-branch durability at each group's safety level —
@@ -54,12 +71,14 @@ from typing import Dict, List, Optional, Tuple
 
 from ..db.operations import Operation, OperationType, TransactionProgram
 from ..db.transaction import Transaction
+from ..db.wal import LogRecordType
 from ..sim.events import Event
 
 #: Abort reasons the coordinator can produce.
 ABORT_VALIDATION = "xpartition-validation"
 ABORT_TIMEOUT = "xpartition-prepare-timeout"
 ABORT_UNAVAILABLE = "xpartition-unavailable"
+ABORT_WRONG_EPOCH = "xpartition-wrong-epoch"
 
 
 @dataclass
@@ -116,6 +135,25 @@ class CrossPartitionOutcome:
                 f"partitions={self.partitions} rt={self.response_time:.1f}ms>")
 
 
+@dataclass
+class _PendingDecision:
+    """A decided transaction whose phase 2 has not finished yet.
+
+    Registered the moment the decision record is durable and removed when
+    the client is answered; this is the state :meth:`CrossPartitionCoordinator.
+    replay_decisions` resumes from after a home-delegate crash.
+    """
+
+    xid: str
+    outcome: CrossPartitionOutcome
+    transactions: Dict[int, Transaction]
+    delegates: Dict[int, str]
+    response_event: Event
+    #: True once a replay pass took ownership of finishing phase 2 (the
+    #: original, possibly still-scheduled, commit branches stand down).
+    resuming: bool = False
+
+
 class CrossPartitionCoordinator:
     """Two-phase commit across the replica groups of a partitioned cluster."""
 
@@ -136,28 +174,49 @@ class CrossPartitionCoordinator:
         self.validation_aborts = 0
         self.timeout_aborts = 0
         self.unavailable_aborts = 0
+        self.wrong_epoch_aborts = 0
+        #: Durable decisions found on recovery whose client was already
+        #: answered with an abort (the flush outran the bounded decision
+        #: wait); reconciled in favour of the abort.
+        self.orphan_decisions = 0
         #: Number of decided branches currently blocked on a crashed group.
         self.in_doubt_branches = 0
         #: Transaction ids of every committed phase-2 branch install, so the
         #: cluster can separate internal 2PC work from client fast-path
         #: results.
         self.branch_txn_ids: set = set()
+        #: xid -> write keys of transactions between vote collection and the
+        #: end of phase 2.  A live migration's fence drain waits for the
+        #: entries touching its range: once a transaction is decided its
+        #: branch installs *will* land on the (still-)owning group, so the
+        #: range cannot move until they have.
+        self.active_installs: Dict[str, frozenset] = {}
+        #: xid -> decided-but-unfinished state for decision replay.
+        self.decided_pending: Dict[str, _PendingDecision] = {}
+        self._orphan_xids: set = set()
 
     # ------------------------------------------------------------------ submission
-    def submit(self, program: TransactionProgram,
-               client_index: int = 0) -> Event:
-        """Run 2PC for ``program``; the event fires with the outcome."""
+    def submit(self, program: TransactionProgram, client_index: int = 0,
+               snapshot=None) -> Event:
+        """Run 2PC for ``program``; the event fires with the outcome.
+
+        ``snapshot`` is the routing view the caller classified the program
+        against; branch epochs are validated against it in phase 1.
+        """
         response_event = Event(self.sim)
         xid = f"xp-{next(self._ids)}"
-        self.sim.spawn(self._run(program, xid, response_event, client_index),
+        if snapshot is None:
+            snapshot = self.cluster.router.snapshot()
+        self.sim.spawn(self._run(program, xid, response_event, client_index,
+                                 snapshot),
                        name=f"xp.coordinator.{xid}")
         return response_event
 
     # ------------------------------------------------------------------ protocol
     def _run(self, program: TransactionProgram, xid: str,
-             response_event: Event, client_index: int):
+             response_event: Event, client_index: int, snapshot):
         submitted_at = self.sim.now
-        branches = self.cluster.router.split(program)
+        branches = self.cluster.router.split(program, snapshot=snapshot)
         partitions = tuple(sorted(branches))
         outcome = CrossPartitionOutcome(
             xid=xid, committed=False, submitted_at=submitted_at,
@@ -217,6 +276,23 @@ class CrossPartitionCoordinator:
                     branch_outcome.voted_yes = False
                     branch_outcome.abort_reason = ABORT_VALIDATION
 
+        # -- vote collection: re-validate the routing epoch ------------------
+        # A shard migration may have moved (or fenced) ownership of a
+        # branch's keys between the split and this point; committing the
+        # branch to the snapshot's group would install writes the new owner
+        # never sees.  Such branches vote no and the submitter retries
+        # against the current epoch.
+        for partition_id in partitions:
+            branch_outcome = outcome.branch(partition_id)
+            if not branch_outcome.voted_yes:
+                continue
+            keys = [operation.key
+                    for operation in branches[partition_id].operations]
+            if (not self.cluster.router.snapshot_is_current(keys, snapshot)
+                    or self.cluster.routing_fenced(keys)):
+                branch_outcome.voted_yes = False
+                branch_outcome.abort_reason = ABORT_WRONG_EPOCH
+
         all_yes = all(branch.voted_yes for branch in outcome.branches)
         if not all_yes:
             if timed_out:
@@ -224,6 +300,9 @@ class CrossPartitionCoordinator:
             elif any(branch.abort_reason == ABORT_UNAVAILABLE
                      for branch in outcome.branches):
                 reason = ABORT_UNAVAILABLE
+            elif any(branch.abort_reason == ABORT_WRONG_EPOCH
+                     for branch in outcome.branches):
+                reason = ABORT_WRONG_EPOCH
             else:
                 reason = ABORT_VALIDATION
             # Nothing was installed during prepare, so aborting everywhere is
@@ -238,7 +317,11 @@ class CrossPartitionCoordinator:
         # would hang the client forever.  On timeout no branch has installed
         # anything yet, so aborting everywhere is safe.
         home = partitions[0]
+        home_node = self.cluster.group(home).node(delegates[home])
         home_db = self.cluster.group(home).database(delegates[home])
+        self.active_installs[xid] = frozenset(
+            key for transaction in transactions.values()
+            for key in transaction.write_values)
         decision_process = self.sim.spawn(
             self._log_decision(home_db, xid),
             name=f"xp.decision.{xid}")
@@ -247,6 +330,14 @@ class CrossPartitionCoordinator:
         if not decision_process.triggered or decision_process.value is not True:
             self._finish(outcome, ABORT_UNAVAILABLE, response_event)
             return
+
+        # The decision is durable: from here on the transaction *will*
+        # commit, even across a crash of the coordinator itself (which is
+        # co-located with the home delegate) — replay_decisions resumes the
+        # registered pending state when the delegate recovers.
+        self.decided_pending[xid] = _PendingDecision(
+            xid=xid, outcome=outcome, transactions=transactions,
+            delegates=dict(delegates), response_event=response_event)
 
         # -- phase 2: make every write branch durable via its group ---------
         commit_procs = []
@@ -259,11 +350,25 @@ class CrossPartitionCoordinator:
             commit_procs.append(self.sim.spawn(
                 self._commit_branch(partition_id, delegates[partition_id],
                                     transaction, xid,
-                                    outcome.branch(partition_id)),
+                                    outcome.branch(partition_id),
+                                    home_node=home_node),
                 name=f"xp.commit.{xid}.p{partition_id}"))
         if commit_procs:
             yield self.sim.all_of(commit_procs)
 
+        pending = self.decided_pending.get(xid)
+        if pending is None or pending.resuming:
+            # A recovery replay took the transaction over (and may already
+            # have finished it — the pending entry is popped by _finish);
+            # standing down here is what keeps the outcome from being
+            # recorded twice.
+            return
+        if (not all(branch.committed for branch in outcome.branches)
+                and home_node.is_crashed):
+            # The coordinator died with its home delegate mid-phase-2.  The
+            # decision is durable and registered; replay finishes the job
+            # (and answers the client) when the delegate recovers.
+            return
         self._finish(outcome, None, response_event)
 
     def _log_decision(self, home_db, xid: str):
@@ -272,9 +377,9 @@ class CrossPartitionCoordinator:
         The record has its own WAL type (not COMMIT), so recovery redo, the
         safety audit and ``committed_transactions()`` never mistake it for a
         transaction.  If the coordinator times this flush out and aborts, a
-        straggling decision record may still become durable later; nothing
-        consumes it today — a decision-replay recovery pass (see ROADMAP)
-        would have to reconcile it with the client-visible abort.
+        straggling decision record may still become durable later;
+        :meth:`replay_decisions` reconciles it with the client-visible abort
+        (counted as an orphan decision).
         """
         try:
             home_db.wal.append_decision(xid)
@@ -310,7 +415,8 @@ class CrossPartitionCoordinator:
 
     def _commit_branch(self, partition_id: int, delegate: str,
                        transaction: Transaction, xid: str,
-                       branch_outcome: BranchOutcome):
+                       branch_outcome: BranchOutcome,
+                       home_node=None):
         """Generator: drive the branch's write set to commit on its group.
 
         The global decision is already logged, so this *must* succeed: local
@@ -322,6 +428,12 @@ class CrossPartitionCoordinator:
         delayed until every branch is durable.  The update-only program is
         idempotent — it installs the same values on every attempt — so an
         at-least-once retry cannot violate atomicity.
+
+        ``home_node`` ties the coordinator's fate to its home delegate: if
+        that node crashes the branch stands down (the coordinator is dead)
+        and decision replay resumes the install on recovery.  Replay-driven
+        installs pass ``home_node=None`` — they answer to nobody but the
+        durable decision record.
         """
         group = self.cluster.group(partition_id)
         write_operations = tuple(
@@ -330,6 +442,15 @@ class CrossPartitionCoordinator:
         server = delegate
         attempt = 0
         while True:
+            if home_node is not None:
+                pending = self.decided_pending.get(xid)
+                if pending is not None and pending.resuming:
+                    # A replay pass owns this transaction now.
+                    return
+                if home_node.is_crashed:
+                    # The coordinator died with its home delegate; the
+                    # durable decision record takes over via replay.
+                    return
             attempt += 1
             backoff = min(self.retry_backoff * attempt, self.max_retry_backoff)
             if not group.node(server).is_up:
@@ -350,7 +471,8 @@ class CrossPartitionCoordinator:
             program = TransactionProgram(operations=write_operations,
                                          client=f"xp.{xid}")
             try:
-                result = yield group.submit(program, server=server)
+                result = yield self.cluster.submit_to_group(
+                    partition_id, program, server=server)
             except RuntimeError:
                 # The chosen server stopped between the check and the submit.
                 yield self.sim.timeout(backoff)
@@ -364,9 +486,61 @@ class CrossPartitionCoordinator:
                 return
             yield self.sim.timeout(backoff)
 
+    # ------------------------------------------------------------------ decision replay
+    def replay_decisions(self, partition_id: int, server: str) -> int:
+        """Resume phase 2 for durable decisions found on a recovered server.
+
+        Scans the server's stable write-ahead log for ``DECISION`` records.
+        A decided-but-unfinished transaction gets its remaining branches
+        re-driven to commit (resolving any in-doubt state) and its client
+        finally answered; a decision whose client already saw an abort is
+        counted as an orphan and left aborted — nothing was installed during
+        prepare, so the abort answer was truthful.  Returns the number of
+        transactions resumed.
+        """
+        database = self.cluster.group(partition_id).database(server)
+        resumed = 0
+        for record in database.wal.stable_records():
+            if record.record_type is not LogRecordType.DECISION:
+                continue
+            xid = record.txn_id
+            pending = self.decided_pending.get(xid)
+            if pending is None:
+                outcome = next((outcome for outcome in self.outcomes
+                                if outcome.xid == xid), None)
+                if (outcome is not None and not outcome.committed
+                        and xid not in self._orphan_xids):
+                    self._orphan_xids.add(xid)
+                    self.orphan_decisions += 1
+                continue
+            if pending.resuming:
+                continue
+            pending.resuming = True
+            resumed += 1
+            self.sim.spawn(self._resume_decided(pending),
+                           name=f"xp.replay.{xid}")
+        return resumed
+
+    def _resume_decided(self, pending: _PendingDecision):
+        """Generator: finish phase 2 of a replayed decision and answer."""
+        outcome = pending.outcome
+        for partition_id, transaction in pending.transactions.items():
+            branch = outcome.branch(partition_id)
+            if branch.committed:
+                continue
+            if not transaction.write_values:
+                branch.committed = True
+                continue
+            yield from self._commit_branch(
+                partition_id, pending.delegates[partition_id], transaction,
+                pending.xid, branch, home_node=None)
+        self._finish(outcome, None, pending.response_event)
+
     # ------------------------------------------------------------------ bookkeeping
     def _finish(self, outcome: CrossPartitionOutcome, reason: Optional[str],
                 response_event: Event) -> None:
+        self.active_installs.pop(outcome.xid, None)
+        self.decided_pending.pop(outcome.xid, None)
         outcome.committed = reason is None and all(
             branch.committed for branch in outcome.branches)
         if reason is None and not outcome.committed:
@@ -387,6 +561,8 @@ class CrossPartitionCoordinator:
                 self.timeout_aborts += 1
             elif reason == ABORT_UNAVAILABLE:
                 self.unavailable_aborts += 1
+            elif reason == ABORT_WRONG_EPOCH:
+                self.wrong_epoch_aborts += 1
         if not response_event.triggered:
             response_event.succeed(outcome)
 

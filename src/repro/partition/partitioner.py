@@ -1,28 +1,49 @@
-"""Keyspace partitioning strategies.
+"""Keyspace partitioning strategies — **compatibility shim**.
+
+.. deprecated::
+    The static :class:`Partitioner` hierarchy is superseded by the
+    epoch-versioned :class:`~repro.partition.routing.RoutingTable`, which
+    supports online shard split/merge and live key migration.  The classes
+    here remain as thin shims over an epoch-0 routing snapshot so existing
+    call sites (and the deterministic seed mappings they rely on) keep
+    working bit-for-bit; new code should build a
+    :class:`~repro.partition.routing.RoutingTable` directly.
 
 A :class:`Partitioner` maps every item key to the id of the replica group
-(partition) that owns it.  Two strategies are provided:
+(partition) that owns it:
 
 * :class:`HashPartitioner` — a stable CRC32 hash of the key modulo the
-  partition count.  Spreads any keyspace evenly; adjacent items land on
-  different partitions, so range-local workloads gain nothing.
+  partition count;
 * :class:`RangePartitioner` — contiguous index ranges over the conventional
-  ``item-<i>`` keys.  Keeps neighbouring items co-located, which is what a
-  range-scan-friendly deployment would choose.
+  ``item-<i>`` keys.
 
 Both are deterministic functions of the key alone (no salted ``hash()``), so
-the mapping is identical across runs and across processes — a requirement for
-the reproducibility discipline of the simulation study.
+the mapping is identical across runs and across processes — a requirement
+for the reproducibility discipline of the simulation study.
 """
 
 from __future__ import annotations
 
-import zlib
 from typing import Dict, Iterable, List
+
+from .routing import STRATEGIES, RoutingTable
+
+__all__ = ["Partitioner", "HashPartitioner", "RangePartitioner",
+           "make_partitioner", "STRATEGIES"]
 
 
 class Partitioner:
-    """Base class: a deterministic key -> partition-id mapping."""
+    """Base class: a deterministic, *frozen* key -> partition-id mapping.
+
+    Deprecated in favour of :class:`~repro.partition.routing.RoutingTable`;
+    kept as the stable protocol (``partition_count`` / ``partition_of`` /
+    ``partitions_of`` / ``partition_keys``) that routing snapshots also
+    implement.
+    """
+
+    #: The epoch-0 routing table backing this partitioner (None for direct
+    #: subclasses that override :meth:`partition_of` themselves).
+    table: RoutingTable = None
 
     def __init__(self, partition_count: int) -> None:
         if partition_count < 1:
@@ -50,10 +71,18 @@ class Partitioner:
 
 
 class HashPartitioner(Partitioner):
-    """Stable hash partitioning: ``crc32(key) % partition_count``."""
+    """Stable hash partitioning: ``crc32(key) % partition_count``.
+
+    Shim over an epoch-0 ``"hash"`` routing table (one position slot per
+    group), preserving the historical placement bit-for-bit.
+    """
+
+    def __init__(self, partition_count: int) -> None:
+        super().__init__(partition_count)
+        self.table = RoutingTable.from_strategy("hash", partition_count)
 
     def partition_of(self, key: str) -> int:
-        return zlib.crc32(key.encode("utf-8")) % self.partition_count
+        return self.table.partition_of(key)
 
 
 class RangePartitioner(Partitioner):
@@ -62,32 +91,27 @@ class RangePartitioner(Partitioner):
     Item index ``i`` of an ``item_count``-item database belongs to partition
     ``i * partition_count // item_count``; keys that do not follow the
     ``<anything>-<integer>`` convention fall back to hash placement so the
-    partitioner stays total.
+    partitioner stays total.  Shim over an epoch-0 ``"range"`` routing
+    table whose shard boundaries reproduce exactly that formula.
     """
 
     def __init__(self, partition_count: int, item_count: int) -> None:
         super().__init__(partition_count)
-        if item_count < partition_count:
-            raise ValueError(
-                f"cannot range-partition {item_count} items into "
-                f"{partition_count} partitions")
         self.item_count = item_count
+        self.table = RoutingTable.from_strategy("range", partition_count,
+                                                item_count)
 
     def partition_of(self, key: str) -> int:
-        _prefix, _sep, suffix = key.rpartition("-")
-        if suffix.isdigit():
-            index = min(int(suffix), self.item_count - 1)
-            return index * self.partition_count // self.item_count
-        return zlib.crc32(key.encode("utf-8")) % self.partition_count
-
-
-#: Strategy names accepted by :func:`make_partitioner`.
-STRATEGIES = ("hash", "range")
+        return self.table.partition_of(key)
 
 
 def make_partitioner(strategy: str, partition_count: int,
                      item_count: int = 0) -> Partitioner:
-    """Build the partitioner named ``strategy`` (``"hash"`` or ``"range"``)."""
+    """Build the partitioner named ``strategy`` (``"hash"`` or ``"range"``).
+
+    Deprecated: new code should call
+    :meth:`~repro.partition.routing.RoutingTable.from_strategy`.
+    """
     if strategy == "hash":
         return HashPartitioner(partition_count)
     if strategy == "range":

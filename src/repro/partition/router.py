@@ -1,63 +1,112 @@
-"""Routing transaction programs to partitions.
+"""Routing transaction programs against an epoch-versioned ownership map.
 
 The :class:`TransactionRouter` classifies every
-:class:`~repro.db.operations.TransactionProgram` by the set of partitions its
-operations touch.  Single-partition programs take the fast path — they are
+:class:`~repro.db.operations.TransactionProgram` by the set of replica
+groups its operations touch — against an immutable
+:class:`~repro.partition.routing.RoutingSnapshot`, so one transaction sees
+one consistent ownership map even while shards split, merge or migrate
+underneath it.  Single-partition programs take the fast path — they are
 submitted directly to the owning replica group and enjoy exactly the latency
 the paper measured for one group.  Multi-partition programs are split into
 per-partition *branches* and handed to the
 :class:`~repro.partition.coordinator.CrossPartitionCoordinator`.
+
+When ownership moves *under* a routed transaction (a migration bumped the
+epoch between classification and execution), the stale routing is detected —
+synchronously at submission for fenced ranges, or at 2PC vote collection via
+:meth:`snapshot_is_current` — and surfaces as
+:class:`~repro.partition.routing.WrongEpochError` /
+``xpartition-wrong-epoch``.  The submission path retries against a fresh
+snapshot; :attr:`wrong_epoch_retries` counts those rounds.
+
+For backward compatibility the router accepts either a
+:class:`~repro.partition.routing.RoutingTable` or a legacy (frozen)
+:class:`~repro.partition.partitioner.Partitioner`; a partitioner is simply a
+routing table that never changes epoch.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, Iterable, List
 
 from ..db.operations import TransactionProgram
-from .partitioner import Partitioner
+from .routing import snapshot_of
 
 
 class TransactionRouter:
-    """Classify and split programs by the partitions their keys live on."""
+    """Classify and split programs by the groups their keys live on."""
 
-    def __init__(self, partitioner: Partitioner) -> None:
-        self.partitioner = partitioner
+    def __init__(self, routing) -> None:
+        #: The live ownership map: a RoutingTable, or a legacy Partitioner
+        #: (whose "snapshot" is itself and whose epoch is forever 0).
+        self.routing = routing
         #: Statistics: how many programs were classified each way.
         self.single_partition_count = 0
         self.cross_partition_count = 0
+        #: How many submissions were re-routed after ownership moved under
+        #: them (fenced range at submit, or a wrong-epoch 2PC abort).
+        self.wrong_epoch_retries = 0
+
+    @property
+    def partitioner(self):
+        """Deprecated alias for :attr:`routing` (the old attribute name)."""
+        return self.routing
+
+    def snapshot(self):
+        """An immutable view of the current ownership map."""
+        return snapshot_of(self.routing)
 
     # -- classification ---------------------------------------------------------------
-    def partitions_of(self, program: TransactionProgram) -> List[int]:
-        """Sorted ids of every partition touched by ``program``."""
-        return self.partitioner.partitions_of(
+    def partitions_of(self, program: TransactionProgram,
+                      snapshot=None) -> List[int]:
+        """Sorted ids of every group touched by ``program``."""
+        view = snapshot if snapshot is not None else self.snapshot()
+        return view.partitions_of(
             operation.key for operation in program.operations)
 
-    def is_single_partition(self, program: TransactionProgram) -> bool:
-        """True if every operation of ``program`` lives on one partition."""
-        return len(self.partitions_of(program)) == 1
+    def is_single_partition(self, program: TransactionProgram,
+                            snapshot=None) -> bool:
+        """True if every operation of ``program`` lives on one group."""
+        return len(self.partitions_of(program, snapshot=snapshot)) == 1
 
-    def classify(self, program: TransactionProgram) -> List[int]:
+    def classify(self, program: TransactionProgram,
+                 snapshot=None) -> List[int]:
         """Like :meth:`partitions_of`, but also updates the routing counters."""
-        partitions = self.partitions_of(program)
+        partitions = self.partitions_of(program, snapshot=snapshot)
         if len(partitions) == 1:
             self.single_partition_count += 1
         else:
             self.cross_partition_count += 1
         return partitions
 
+    # -- epoch validation ---------------------------------------------------------------
+    def snapshot_is_current(self, keys: Iterable[str], snapshot) -> bool:
+        """True if ``snapshot`` still routes every key of ``keys`` correctly.
+
+        Cheap when the epoch has not moved; after a bump, ownership is
+        compared key by key (a split or an unrelated migration bumps the
+        epoch without invalidating this transaction's routing).
+        """
+        current = self.snapshot()
+        if getattr(current, "epoch", 0) == getattr(snapshot, "epoch", 0):
+            return True
+        return all(current.partition_of(key) == snapshot.partition_of(key)
+                   for key in keys)
+
     # -- splitting -----------------------------------------------------------------------
-    def split(self, program: TransactionProgram
-              ) -> Dict[int, TransactionProgram]:
-        """Split ``program`` into one branch program per touched partition.
+    def split(self, program: TransactionProgram,
+              snapshot=None) -> Dict[int, TransactionProgram]:
+        """Split ``program`` into one branch program per touched group.
 
         Each branch keeps its operations in original program order, so the
         per-partition read/write semantics are unchanged.  Branch programs get
         fresh program ids (they become independent transactions on their
         partition); the originating client name is preserved.
         """
+        view = snapshot if snapshot is not None else self.snapshot()
         by_partition: Dict[int, List] = {}
         for operation in program.operations:
-            partition_id = self.partitioner.partition_of(operation.key)
+            partition_id = view.partition_of(operation.key)
             by_partition.setdefault(partition_id, []).append(operation)
         return {
             partition_id: TransactionProgram(operations=tuple(operations),
@@ -67,4 +116,5 @@ class TransactionRouter:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (f"<TransactionRouter single={self.single_partition_count} "
-                f"cross={self.cross_partition_count}>")
+                f"cross={self.cross_partition_count} "
+                f"retries={self.wrong_epoch_retries}>")

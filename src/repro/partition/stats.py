@@ -5,6 +5,11 @@
 :class:`~repro.partition.coordinator.CrossPartitionOutcome` — into one
 summary, reusing :class:`~repro.replication.results.RunStatistics` for each
 population so the percentile / throughput machinery stays in one place.
+
+With the epoch-versioned routing table the summary also tracks the
+*rebalancing* axis: commits bucketed by routing epoch, terminations that
+happened while a migration was in flight, wrong-epoch submission retries,
+and the migration reports themselves.
 """
 
 from __future__ import annotations
@@ -15,7 +20,8 @@ from typing import TYPE_CHECKING, Dict, List, Sequence
 from ..replication.results import RunStatistics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
-    from .workload import PartitionedOpenLoopClients
+    from .cluster import MigrationReport
+    from .workload import _PartitionedClientBase
 
 
 @dataclass
@@ -41,6 +47,17 @@ class PartitionedRunStatistics:
     #: experiments can see the fast path's losses next to the coordinated
     #: path's unavailability aborts.
     rejected_submissions: int = 0
+    #: Client-visible commits per routing epoch (at response time).
+    epoch_commits: Dict[int, int] = field(default_factory=dict)
+    #: Submissions re-routed after ownership moved under them.
+    wrong_epoch_retries: int = 0
+    #: Client-visible terminations while a migration was in flight.
+    during_migration_commits: int = 0
+    during_migration_aborts: int = 0
+    #: Every migration the cluster ran (completed or aborted).
+    migrations: List["MigrationReport"] = field(default_factory=list)
+    #: The routing epoch when the statistics were collected.
+    final_epoch: int = 0
 
     # -- aggregates ---------------------------------------------------------------------
     @property
@@ -81,20 +98,29 @@ class PartitionedRunStatistics:
         return (self.cross.measured_commits +
                 self.cross.measured_aborts) / total
 
+    @property
+    def completed_migrations(self) -> List["MigrationReport"]:
+        """Migrations that installed their epoch bump."""
+        return [report for report in self.migrations if report.completed]
+
     def percentile(self, fraction: float) -> float:
         """Response-time percentile over both populations combined."""
         return RunStatistics(
             "merged", response_times=self.response_times).percentile(fraction)
 
 
-def collect_statistics(clients: "PartitionedOpenLoopClients",
+def collect_statistics(clients: "_PartitionedClientBase",
                        duration_ms: float) -> PartitionedRunStatistics:
-    """Summarise one driven run of a partitioned cluster."""
+    """Summarise one driven run of a partitioned cluster.
+
+    Works for both the open-loop and the closed-loop driver (a closed-loop
+    pool has no fixed offered load, so that field stays 0).
+    """
     cluster = clients.cluster
     stats = PartitionedRunStatistics(
         technique="+".join(sorted(set(cluster.techniques))),
         partition_count=cluster.partition_count,
-        offered_load_tps=clients.load_tps,
+        offered_load_tps=getattr(clients, "load_tps", 0.0),
         simulated_duration_ms=duration_ms)
     # Both populations span the same measured window, so their per-population
     # achieved_throughput_tps works out of the box.
@@ -108,6 +134,12 @@ def collect_statistics(clients: "PartitionedOpenLoopClients",
         stats.cross.record(outcome)
     stats.per_partition_commits = cluster.commit_counts()
     stats.rejected_submissions = clients.rejected_count
+    stats.epoch_commits = dict(clients.epoch_commits)
+    stats.wrong_epoch_retries = cluster.router.wrong_epoch_retries
+    stats.during_migration_commits = clients.during_migration_commits
+    stats.during_migration_aborts = clients.during_migration_aborts
+    stats.migrations = list(cluster.migration_reports)
+    stats.final_epoch = getattr(cluster.routing, "epoch", 0)
     return stats
 
 
