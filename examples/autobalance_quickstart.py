@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart for the autobalance controller: no operator in the loop.
+
+The example range-shards a Zipf-skewed keyspace across four replica groups
+and attaches a ``RebalanceController``: a simulated process that watches
+*windowed* per-shard load (the routing table's access counters decay every
+window, so the signal tracks recent traffic, not all-time totals) and
+triggers ``cluster.rebalance()`` when one shard's share of the window
+crosses a threshold — with cooldowns and hysteresis so an oscillating
+hotspot is damped instead of chased.
+
+Mid-run the workload's Zipf ranking is rotated so the hot head jumps to the
+middle of the keyspace — a hotspot shift no static map recovers from.  The
+controller must repair both the initial skew and the shift on its own; the
+identically seeded static run is the baseline.  It prints:
+
+* committed throughput before the shift, in the repair window, and in the
+  recovered steady state, for both runs,
+* the controller's decision counters — including what it *declined* to do
+  (below-threshold, cooldown, hysteresis skips),
+* each controller-driven migration's copy/fence telemetry,
+* the per-key commit audit: zero lost and zero duplicated commits.
+
+Run it with::
+
+    python examples/autobalance_quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (render_autobalance_report,
+                               run_autobalance_experiment)
+
+
+def main() -> None:
+    print("Static map under a Zipf hotspot shift (no controller) ...")
+    static = run_autobalance_experiment(controlled=False)
+    print("Same seed with the autobalance controller attached ...\n")
+    controlled = run_autobalance_experiment(controlled=True)
+
+    print(render_autobalance_report(static, controlled))
+
+    print()
+    stats = controlled.controller_stats
+    if stats is None or not stats.rebalances_triggered:
+        print("The controller never triggered — see the report above.")
+        return
+    ratio = (controlled.recovered_tput / static.recovered_tput
+             if static.recovered_tput else float("inf"))
+    print(f"The controller repaired the shift by itself: "
+          f"{stats.rebalances_triggered} rebalances, recovered committed "
+          f"throughput {ratio:.1f}x the static map's.")
+
+
+if __name__ == "__main__":
+    main()

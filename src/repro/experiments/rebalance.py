@@ -69,22 +69,22 @@ def _group_of_result(result) -> Optional[int]:
     return None
 
 
-def _window_commits(clients: _PartitionedClientBase, start: float,
-                    end: float) -> Tuple[int, int]:
-    """(committed, committed-on-group-0) with responses in ``[start, end)``."""
+def window_commits(clients: _PartitionedClientBase, start: float,
+                   end: float, hot_group: int = 0) -> Tuple[int, int]:
+    """(committed, committed-on-``hot_group``) responses in ``[start, end)``."""
     total = 0
     on_hot = 0
     for population in (clients.single_results, clients.warmup_single_results):
         for result in population:
             if result.committed and start <= result.responded_at < end:
                 total += 1
-                if _group_of_result(result) == 0:
+                if _group_of_result(result) == hot_group:
                     on_hot += 1
     for population in (clients.cross_results, clients.warmup_cross_results):
         for outcome in population:
             if outcome.committed and start <= outcome.responded_at < end:
                 total += 1
-                if 0 in outcome.partitions:
+                if hot_group in outcome.partitions:
                     on_hot += 1
     return total, on_hot
 
@@ -208,9 +208,9 @@ def run_rebalance_experiment(rebalance: bool = True,
     statistics = collect_statistics(clients,
                                     duration_ms=duration_ms - warmup_ms)
     outcome = RebalanceOutcome(rebalanced=rebalance, statistics=statistics)
-    before, before_hot = _window_commits(clients, warmup_ms, rebalance_at_ms)
-    during, _ = _window_commits(clients, rebalance_at_ms, settle_ms)
-    after, after_hot = _window_commits(clients, settle_ms, duration_ms)
+    before, before_hot = window_commits(clients, warmup_ms, rebalance_at_ms)
+    during, _ = window_commits(clients, rebalance_at_ms, settle_ms)
+    after, after_hot = window_commits(clients, settle_ms, duration_ms)
     outcome.before_tput = before / ((rebalance_at_ms - warmup_ms) / 1000.0)
     outcome.during_tput = during / ((settle_ms - rebalance_at_ms) / 1000.0)
     outcome.after_tput = after / ((duration_ms - settle_ms) / 1000.0)
@@ -261,6 +261,12 @@ def render_rebalance_report(static: RebalanceOutcome,
             f"  warm copy {migration.keys_copied} keys, delta "
             f"{migration.delta_keys_copied} keys, "
             f"{migration.forwarded_writes} dual-writes forwarded",
+            f"  copy {migration.copy_duration_ms:.0f} ms in "
+            f"{migration.copy_chunks} chunks "
+            f"(concurrency {migration.copy_concurrency}, peak "
+            f"{migration.copy_inflight_peak} in flight, "
+            f"{migration.throttle_waits} throttle waits, "
+            f"{migration.throttle_wait_ms:.0f} ms throttled)",
             f"  total {migration.duration_ms:.0f} ms, write fence "
             f"{migration.fence_duration_ms:.0f} ms, verified="
             f"{migration.verified}",

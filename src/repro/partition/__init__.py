@@ -20,14 +20,18 @@ drivers keep submitting.
   protocol (2PC whose participants are replica groups, with branch-epoch
   validation and crash-recovery decision replay);
 * :mod:`~repro.partition.cluster` — the :class:`PartitionedCluster` facade,
-  including the live-migration driver and the :meth:`~repro.partition.
-  cluster.PartitionedCluster.rebalance` entry point;
+  including the live-migration driver (overlapped, throttled copy) and the
+  :meth:`~repro.partition.cluster.PartitionedCluster.rebalance` entry point;
+* :mod:`~repro.partition.controller` — the autobalance
+  :class:`RebalanceController`: windowed load watching, thresholds,
+  cooldowns and hysteresis driving ``rebalance()`` with no operator;
 * :mod:`~repro.partition.workload` — partition-aware workload generation and
   the open- and closed-loop load drivers;
 * :mod:`~repro.partition.stats` — aggregated run statistics.
 """
 
 from .cluster import MigrationReport, PartitionedCluster
+from .controller import ControllerStats, RebalanceController
 from .coordinator import (ABORT_TIMEOUT, ABORT_UNAVAILABLE, ABORT_VALIDATION,
                           ABORT_WRONG_EPOCH, BranchOutcome,
                           CrossPartitionCoordinator, CrossPartitionOutcome)
@@ -44,6 +48,8 @@ from .workload import (PartitionedClosedLoopClients, PartitionedOpenLoopClients,
 __all__ = [
     "PartitionedCluster",
     "MigrationReport",
+    "RebalanceController",
+    "ControllerStats",
     "CrossPartitionCoordinator",
     "CrossPartitionOutcome",
     "BranchOutcome",

@@ -55,8 +55,9 @@ Typical use::
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..db.operations import Operation, OperationType, TransactionProgram
 from ..db.wal import LogRecord
@@ -96,6 +97,18 @@ class MigrationReport:
     verified: bool = False
     #: Epoch installed by the bump (None if the migration aborted).
     epoch: Optional[int] = None
+    #: Copy-phase telemetry: chunk installs the driver keeps in flight.
+    copy_concurrency: int = 1
+    #: When the warm copy finished (0 while running / if it never did).
+    copy_completed_at: float = 0.0
+    #: Chunk transactions installed by the warm copy.
+    copy_chunks: int = 0
+    #: Most chunk installs observed in flight at once.
+    copy_inflight_peak: int = 0
+    #: Times the token throttle paused the copy for foreground load.
+    throttle_waits: int = 0
+    #: Total sim-time the copy spent throttled.
+    throttle_wait_ms: float = 0.0
 
     @property
     def completed(self) -> bool:
@@ -107,6 +120,13 @@ class MigrationReport:
         """Wall-clock (simulated) duration of the whole migration."""
         end = self.completed_at or self.fence_started_at or self.started_at
         return end - self.started_at
+
+    @property
+    def copy_duration_ms(self) -> float:
+        """How long the (overlapped, throttled) warm copy phase took."""
+        if not self.copy_completed_at:
+            return 0.0
+        return self.copy_completed_at - self.started_at
 
     @property
     def fence_duration_ms(self) -> float:
@@ -139,6 +159,16 @@ class PartitionedCluster:
     WRONG_EPOCH_MAX_BACKOFF = 50.0
     #: Submission attempts before a wrong-epoch retry gives up.
     WRONG_EPOCH_MAX_RETRIES = 100
+    #: Default chunk installs a migration's warm copy keeps in flight at
+    #: once, overlapping the destination group's commit latency.
+    DEFAULT_COPY_CONCURRENCY = 4
+    #: Combined (foreground + copy) transaction budget the copy throttles
+    #: to: the chunk dispatch rate is the budget minus the recent client
+    #: submit rate, floored at DEFAULT_COPY_MIN_TPS.
+    DEFAULT_COPY_BUDGET_TPS = 500.0
+    DEFAULT_COPY_MIN_TPS = 50.0
+    #: Trailing window (ms) over which the client submit rate is measured.
+    SUBMIT_RATE_WINDOW_MS = 1_000.0
 
     def __init__(self, technique: str = "group-safe",
                  params: Optional[SimulationParameters] = None,
@@ -195,6 +225,12 @@ class PartitionedCluster:
         #: forwarded dual-writes) — excluded from fast-path results like the
         #: coordinator's branch installs.
         self.migration_txn_ids: set = set()
+        #: Timestamps of recent client submissions (for the copy throttle).
+        self._recent_submits: Deque[float] = deque()
+        #: The autobalance controller driving :meth:`rebalance`, if one is
+        #: attached (see :class:`repro.partition.controller.
+        #: RebalanceController`, which registers itself here).
+        self.controller = None
         self._started = False
 
     # ------------------------------------------------------------------ access
@@ -231,6 +267,27 @@ class PartitionedCluster:
         """True if any of ``keys`` is inside a write-fenced (migrating) range."""
         return self.routing.has_fences and self.routing.is_fenced(keys)
 
+    def _note_submit(self) -> None:
+        now = self.sim.now
+        submits = self._recent_submits
+        submits.append(now)
+        horizon = now - self.SUBMIT_RATE_WINDOW_MS
+        while submits and submits[0] < horizon:
+            submits.popleft()
+
+    def recent_submit_rate(self) -> float:
+        """Client submissions per second over the trailing rate window.
+
+        Counts every :meth:`submit` attempt (including fenced ones that were
+        refused — they are still foreground pressure); the migration copy
+        throttles its chunk dispatch against this.
+        """
+        submits = self._recent_submits
+        horizon = self.sim.now - self.SUBMIT_RATE_WINDOW_MS
+        while submits and submits[0] < horizon:
+            submits.popleft()
+        return len(submits) / (self.SUBMIT_RATE_WINDOW_MS / 1000.0)
+
     # ------------------------------------------------------------------ lifecycle
     def start(self) -> None:
         """Start every replica group."""
@@ -257,6 +314,8 @@ class PartitionedCluster:
         touches a range fenced by a live migration — callers retry (see
         :meth:`submit_retrying`).
         """
+        self.routing.maybe_roll(self.sim.now)
+        self._note_submit()
         keys = [operation.key for operation in program.operations]
         if self.routing_fenced(keys):
             raise WrongEpochError(
@@ -428,7 +487,10 @@ class PartitionedCluster:
 
     # ------------------------------------------------------------------ migration
     def migrate(self, shard, destination_group: int, chunk_size: int = 32,
-                fence_timeout: float = 10_000.0) -> Process:
+                fence_timeout: float = 10_000.0,
+                copy_concurrency: Optional[int] = None,
+                copy_budget_tps: Optional[float] = None,
+                copy_min_tps: Optional[float] = None) -> Process:
         """Start a live migration of ``shard`` to ``destination_group``.
 
         ``shard`` is a shard index or its exact
@@ -436,6 +498,12 @@ class PartitionedCluster:
         process; run the simulation to let it finish.  The driver aborts
         (leaving the old owner authoritative) if either group loses all its
         servers or the fence drain exceeds ``fence_timeout``.
+
+        The warm copy keeps up to ``copy_concurrency`` chunk transactions in
+        flight at once (overlapping the destination group's commit latency)
+        and throttles its dispatch with a token budget: chunks are issued at
+        ``copy_budget_tps`` minus the recent client submit rate, floored at
+        ``copy_min_tps`` so a saturated foreground cannot starve the copy.
         """
         key_range = self.routing.range_of(shard)
         source_group = self.routing.owner_of_range(key_range)
@@ -466,17 +534,77 @@ class PartitionedCluster:
             if not event.triggered:
                 self._register_dual_write_entry(entry, program, event)
         return self.sim.spawn(
-            self._migration_driver(entry, chunk_size, fence_timeout),
+            self._migration_driver(
+                entry, chunk_size, fence_timeout,
+                copy_concurrency=(copy_concurrency
+                                  if copy_concurrency is not None
+                                  else self.DEFAULT_COPY_CONCURRENCY),
+                copy_budget_tps=(copy_budget_tps
+                                 if copy_budget_tps is not None
+                                 else self.DEFAULT_COPY_BUDGET_TPS),
+                copy_min_tps=(copy_min_tps if copy_min_tps is not None
+                              else self.DEFAULT_COPY_MIN_TPS)),
             name=f"migration.{key_range!r}"
                  f".g{source_group}->g{destination_group}")
 
+    def _copy_chunk(self, entry: _MigrationEntry, chunk: List[str],
+                    versions_seen: Dict[str, int]):
+        """Generator: read one chunk on the source, install on the destination.
+
+        Returns None on success, else the abort reason.  Several of these run
+        concurrently (up to the driver's ``copy_concurrency``); the shared
+        ``versions_seen`` map records each key's source version *before* its
+        install, so the under-fence delta pass re-copies anything that moved.
+        """
+        source = self.groups[entry.source_group]
+        up_servers = source.up_servers()
+        if not up_servers:
+            return "source-unavailable"
+        database = source.database(up_servers[0])
+        values: Dict[str, object] = {}
+        try:
+            for key in chunk:
+                # Charge the state-transfer read on the source disk.
+                yield from database.buffer.read_item(key)
+                values[key] = database.value_of(key)
+                versions_seen[key] = database.version_of(key)
+        except Exception:
+            return "source-unavailable"
+        installed = yield from self._install_on_destination(entry, values)
+        if not installed:
+            return "destination-unavailable"
+        entry.report.keys_copied += len(chunk)
+        entry.report.copy_chunks += 1
+        return None
+
+    @staticmethod
+    def _reap_copies(pending: List[Process]) -> Tuple[List[Process],
+                                                      Optional[str]]:
+        """Drop finished chunk processes; return (still-running, failure)."""
+        failure = None
+        still = []
+        for process in pending:
+            if not process.triggered:
+                still.append(process)
+            elif process.ok and process.value is not None and failure is None:
+                failure = process.value
+        return still, failure
+
     def _migration_driver(self, entry: _MigrationEntry, chunk_size: int,
-                          fence_timeout: float):
+                          fence_timeout: float, copy_concurrency: int,
+                          copy_budget_tps: float, copy_min_tps: float):
         report = entry.report
         source = self.groups[entry.source_group]
         fenced = False
         try:
             # -- phase 1: warm copy (dual-write forwarding already active) --
+            # Up to copy_concurrency chunk transactions run in flight at
+            # once, so consecutive installs overlap the destination group's
+            # commit latency instead of serialising on one delegate; a token
+            # bucket refilled at (budget - foreground submit rate) throttles
+            # chunk dispatch so the copy yields to client traffic.
+            copy_concurrency = max(1, copy_concurrency)
+            report.copy_concurrency = copy_concurrency
             if not source.up_servers():
                 return self._abort_migration(entry, "source-unavailable",
                                              fenced)
@@ -484,30 +612,51 @@ class PartitionedCluster:
             keys = [key for key in source.database(delegate).items.keys()
                     if entry.key_range.contains(self.routing.position_of(key))]
             versions_seen: Dict[str, int] = {}
+            pending: List[Process] = []
+            failure: Optional[str] = None
+            tokens = float(copy_concurrency)
+            refilled_at = self.sim.now
+
+            def refill(tokens: float, refilled_at: float):
+                rate = max(copy_min_tps,
+                           copy_budget_tps - self.recent_submit_rate())
+                now = self.sim.now
+                tokens = min(float(copy_concurrency),
+                             tokens + (now - refilled_at) * rate / 1000.0)
+                return tokens, now, rate
+
             for start in range(0, len(keys), chunk_size):
                 chunk = keys[start:start + chunk_size]
-                up_servers = source.up_servers()
-                if not up_servers:
-                    return self._abort_migration(entry, "source-unavailable",
-                                                 fenced)
-                delegate = up_servers[0]
-                database = source.database(delegate)
-                values: Dict[str, object] = {}
-                try:
-                    for key in chunk:
-                        # Charge the state-transfer read on the source disk.
-                        yield from database.buffer.read_item(key)
-                        values[key] = database.value_of(key)
-                        versions_seen[key] = database.version_of(key)
-                except Exception:
-                    return self._abort_migration(entry, "source-unavailable",
-                                                 fenced)
-                installed = yield from self._install_on_destination(entry,
-                                                                    values)
-                if not installed:
-                    return self._abort_migration(
-                        entry, "destination-unavailable", fenced)
-                report.keys_copied += len(chunk)
+                tokens, refilled_at, rate = refill(tokens, refilled_at)
+                while tokens < 1.0 - 1e-6:
+                    # Floor the wait so float rounding in the refill can
+                    # never produce a zero-advance timeout loop.
+                    wait = max((1.0 - tokens) * 1000.0 / rate, 0.1)
+                    report.throttle_waits += 1
+                    report.throttle_wait_ms += wait
+                    yield self.sim.timeout(wait)
+                    tokens, refilled_at, rate = refill(tokens, refilled_at)
+                tokens = max(0.0, tokens - 1.0)
+                pending, failure = self._reap_copies(pending)
+                while failure is None and len(pending) >= copy_concurrency:
+                    yield self.sim.any_of(pending)
+                    pending, failure = self._reap_copies(pending)
+                if failure is not None:
+                    break
+                pending.append(self.sim.spawn(
+                    self._copy_chunk(entry, chunk, versions_seen),
+                    name=f"migration.copy.g{entry.source_group}"
+                         f"->g{entry.destination_group}.{start}"))
+                report.copy_inflight_peak = max(report.copy_inflight_peak,
+                                                len(pending))
+            while failure is None and pending:
+                yield self.sim.all_of(pending)
+                pending, failure = self._reap_copies(pending)
+            if failure is not None:
+                for process in pending:
+                    process.kill()
+                return self._abort_migration(entry, failure, fenced)
+            report.copy_completed_at = self.sim.now
 
             # -- phase 2: fence the range and drain in-flight writers -------
             self.routing.fence(entry.key_range)
@@ -670,13 +819,19 @@ class PartitionedCluster:
                 self.routing.epoch, self.routing.as_payload())
 
     def rebalance(self, shard: Optional[int] = None,
-                  destination_group: Optional[int] = None) -> Process:
+                  destination_group: Optional[int] = None,
+                  copy_concurrency: Optional[int] = None,
+                  copy_budget_tps: Optional[float] = None,
+                  copy_min_tps: Optional[float] = None) -> Process:
         """Move (half of) the hottest shard to the least-loaded group.
 
         The shard with the most observed accesses is split at its
         access-weighted median (so each side carries about half the load)
         and the hot head is migrated — live, under traffic — to the coolest
-        group.  Returns the migration driver process.
+        group.  Returns the migration driver process.  With windowed access
+        decay enabled (or a :class:`~repro.partition.controller.
+        RebalanceController` rolling windows), "hottest" and "coolest"
+        reflect recent load rather than all-time totals.
         """
         index = shard if shard is not None else self.routing.hottest_shard()
         key_range = self.routing.range_of(index)
@@ -688,7 +843,10 @@ class PartitionedCluster:
             # The low half (the head of the range — the Zipf hot set) keeps
             # the original index; migrate that one.
             key_range = self.routing.range_of(index)
-        return self.migrate(key_range, destination)
+        return self.migrate(key_range, destination,
+                            copy_concurrency=copy_concurrency,
+                            copy_budget_tps=copy_budget_tps,
+                            copy_min_tps=copy_min_tps)
 
     # ------------------------------------------------------------------ failures
     def crash_server(self, partition_id: int, server: str) -> None:

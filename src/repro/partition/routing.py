@@ -216,7 +216,25 @@ class RoutingTable:
         #: Ranges currently write-fenced by a live migration.
         self._fenced: List[KeyRange] = []
         #: Per-position access counters feeding the skew-aware split points.
+        #: Windowed, not cumulative: :meth:`roll_window` decays every counter
+        #: by :attr:`decay_factor` (and :meth:`maybe_roll` does so on a
+        #: sim-time schedule when :attr:`decay_interval_ms` is set), so the
+        #: hot-spot queries reflect recent load instead of all-time totals.
+        #: With decay disabled (the default) the counters accumulate forever,
+        #: reproducing the seed behaviour exactly.
         self.access_counts: Dict[int, int] = {}
+        #: Sim-time between automatic decay windows (None = decay disabled).
+        self.decay_interval_ms: Optional[float] = None
+        #: Multiplier applied to every counter when a window rolls.
+        self.decay_factor: float = 0.5
+        #: Cap on distinct tracked positions; beyond it the coldest
+        #: positions are folded into their shard's lo position so wide
+        #: keyspaces cannot grow the counter dict without bound.
+        self.max_tracked_positions: int = 4096
+        #: Number of decay windows rolled so far.
+        self.windows_rolled = 0
+        self._last_roll_at: Optional[float] = None
+        self._rebuild_access_index()
         #: Every epoch the table has been through: (epoch, assignments).
         self.history: List[Tuple[int, Tuple[ShardAssignment, ...]]] = [
             (epoch, tuple(self._assignments))]
@@ -367,6 +385,7 @@ class RoutingTable:
     def _bump(self) -> int:
         self._epoch += 1
         self._snapshot = None
+        self._rebuild_access_index()
         self.history.append((self._epoch, tuple(self._assignments)))
         return self._epoch
 
@@ -460,6 +479,7 @@ class RoutingTable:
         self._validate_cover()
         self._epoch = epoch
         self._snapshot = None
+        self._rebuild_access_index()
         self.history.append((epoch, tuple(self._assignments)))
 
     # -- fencing ------------------------------------------------------------------------
@@ -490,26 +510,113 @@ class RoutingTable:
         return False
 
     # -- access accounting (feeds the skew-aware rebalancer) ----------------------------
+    def _rebuild_access_index(self) -> None:
+        """Recompute the per-shard totals after the shard list changed.
+
+        :meth:`note_access` maintains the totals incrementally (O(log shards)
+        per access); split/merge/migrate/install/decay re-attribute the
+        tracked positions to the new shard list in one pass.
+        """
+        self._bounds = [assignment.key_range.lo
+                        for assignment in self._assignments]
+        totals = [0] * len(self._assignments)
+        for position, count in self.access_counts.items():
+            totals[bisect_right(self._bounds, position) - 1] += count
+        self._shard_totals = totals
+
     def note_access(self, key: str) -> None:
         """Record one access to ``key`` for load accounting."""
         position = self.position_of(key)
-        self.access_counts[position] = self.access_counts.get(position, 0) + 1
+        count = self.access_counts.get(position)
+        if count is None:
+            if len(self.access_counts) >= self.max_tracked_positions:
+                self._compact_access_counts()
+            self.access_counts[position] = 1
+        else:
+            self.access_counts[position] = count + 1
+        self._shard_totals[bisect_right(self._bounds, position) - 1] += 1
 
     def note_keys(self, keys: Iterable[str]) -> None:
         """Record one access per key of ``keys``."""
         for key in keys:
             self.note_access(key)
 
+    def _compact_access_counts(self) -> None:
+        """Fold the coldest tracked positions into their shard's lo position.
+
+        Keeps the dict at ~half :attr:`max_tracked_positions` entries while
+        preserving every shard's total exactly; only the position-level
+        resolution of the folded (cold, low-mass) tail is lost, which can
+        bias :meth:`hot_split_position` slightly toward the range head.
+        """
+        keep = max(self.max_tracked_positions // 2, len(self._assignments))
+        by_heat = sorted(self.access_counts,
+                         key=self.access_counts.__getitem__, reverse=True)
+        compacted = {position: self.access_counts[position]
+                     for position in by_heat[:keep]}
+        for position in by_heat[keep:]:
+            shard = bisect_right(self._bounds, position) - 1
+            anchor = self._assignments[shard].key_range.lo
+            compacted[anchor] = (compacted.get(anchor, 0) +
+                                 self.access_counts[position])
+        self.access_counts = compacted
+
+    def roll_window(self) -> None:
+        """Close one accounting window: decay every counter by the factor.
+
+        Counters that decay to zero are dropped, so cold positions stop
+        being tracked; the per-shard totals are rebuilt to match.  With the
+        default factor 0.5 the totals converge to an exponentially weighted
+        view of roughly the last two windows of traffic.
+        """
+        factor = self.decay_factor
+        self.access_counts = {
+            position: decayed
+            for position, count in self.access_counts.items()
+            if (decayed := int(count * factor)) > 0}
+        self.windows_rolled += 1
+        self._rebuild_access_index()
+
+    def maybe_roll(self, now: float) -> int:
+        """Roll every decay window due by sim-time ``now``.
+
+        A no-op (returning 0) while :attr:`decay_interval_ms` is unset, so
+        callers can invoke it unconditionally on hot paths.  Returns the
+        number of windows rolled.
+        """
+        if not self.decay_interval_ms:
+            return 0
+        if self._last_roll_at is None:
+            self._last_roll_at = now
+            return 0
+        rolled = 0
+        while now - self._last_roll_at >= self.decay_interval_ms:
+            self.roll_window()
+            self._last_roll_at += self.decay_interval_ms
+            rolled += 1
+        return rolled
+
+    def shard_accesses(self) -> List[int]:
+        """Per-shard observed accesses, in :attr:`assignments` order."""
+        return list(self._shard_totals)
+
     def access_count_of(self, key_range: KeyRange) -> int:
-        """Observed accesses landing in ``key_range``."""
-        return sum(count for position, count in self.access_counts.items()
-                   if key_range.contains(position))
+        """Observed accesses landing in ``key_range``.
+
+        A range matching a current shard exactly reads the cached total;
+        an arbitrary range falls back to scanning the tracked positions.
+        """
+        try:
+            return self._shard_totals[self.shard_index(key_range)]
+        except ValueError:
+            return sum(count
+                       for position, count in self.access_counts.items()
+                       if key_range.contains(position))
 
     def hottest_shard(self) -> int:
         """Index of the shard with the most observed accesses."""
-        counts = [self.access_count_of(assignment.key_range)
-                  for assignment in self._assignments]
-        return max(range(len(counts)), key=counts.__getitem__)
+        return max(range(len(self._shard_totals)),
+                   key=self._shard_totals.__getitem__)
 
     def coolest_group(self, exclude: Iterable[int] = ()) -> int:
         """Group with the fewest observed accesses (ties -> lowest id)."""
@@ -518,10 +625,9 @@ class RoutingTable:
                   if group_id not in excluded}
         if not totals:
             raise ValueError("every group is excluded")
-        for assignment in self._assignments:
+        for index, assignment in enumerate(self._assignments):
             if assignment.group_id in totals:
-                totals[assignment.group_id] += self.access_count_of(
-                    assignment.key_range)
+                totals[assignment.group_id] += self._shard_totals[index]
         return min(sorted(totals), key=totals.__getitem__)
 
     def hot_split_position(self, shard: Union[int, KeyRange]
@@ -543,8 +649,11 @@ class RoutingTable:
         for position in positions:
             running += self.access_counts[position]
             if running * 2 >= total:
-                candidate = position + 1
-                if key_range.lo < candidate < key_range.hi:
+                # A maximally skewed shard puts the weighted median on its
+                # last position; clamp to the largest legal split point
+                # instead of abandoning the load signal for the midpoint.
+                candidate = min(position + 1, key_range.hi - 1)
+                if key_range.lo < candidate:
                     return candidate
                 break
         midpoint = key_range.midpoint

@@ -15,12 +15,13 @@ and the migration reports themselves.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..replication.results import RunStatistics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from .cluster import MigrationReport
+    from .controller import ControllerStats
     from .workload import _PartitionedClientBase
 
 
@@ -58,6 +59,10 @@ class PartitionedRunStatistics:
     migrations: List["MigrationReport"] = field(default_factory=list)
     #: The routing epoch when the statistics were collected.
     final_epoch: int = 0
+    #: Autobalance controller telemetry (None when no controller ran).
+    controller: Optional["ControllerStats"] = None
+    #: Decay windows the routing table rolled during the run.
+    windows_rolled: int = 0
 
     # -- aggregates ---------------------------------------------------------------------
     @property
@@ -140,6 +145,10 @@ def collect_statistics(clients: "_PartitionedClientBase",
     stats.during_migration_aborts = clients.during_migration_aborts
     stats.migrations = list(cluster.migration_reports)
     stats.final_epoch = getattr(cluster.routing, "epoch", 0)
+    controller = getattr(cluster, "controller", None)
+    if controller is not None:
+        stats.controller = controller.stats
+    stats.windows_rolled = getattr(cluster.routing, "windows_rolled", 0)
     return stats
 
 

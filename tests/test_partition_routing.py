@@ -155,6 +155,102 @@ def test_hot_split_position_without_data_is_none():
     assert table.hot_split_position(0) is None
 
 
+def test_hot_split_clamps_a_maximally_skewed_shard():
+    # All the mass on the shard's last position used to push the weighted
+    # median to `hi` and silently fall back to the load-free midpoint; the
+    # split must land on the largest legal split point instead.
+    table = range_table(2, 100)
+    for _ in range(50):
+        table.note_access("item-49")       # last position of shard [0, 50)
+    assert table.hot_split_position(0) == 49
+
+
+# ---------------------------------------------------------------- windowed accounting
+def test_access_counters_are_cumulative_with_decay_disabled():
+    table = range_table(2, 100)
+    for _ in range(3):
+        table.note_access("item-1")
+    assert table.maybe_roll(10_000.0) == 0     # decay off: nothing rolls
+    assert table.access_counts[1] == 3
+    assert table.windows_rolled == 0
+
+
+def test_roll_window_decays_counters_and_drops_cold_positions():
+    table = range_table(2, 100)
+    for _ in range(8):
+        table.note_access("item-1")
+    table.note_access("item-60")
+    table.roll_window()
+    assert table.access_counts[1] == 4
+    assert 60 not in table.access_counts       # 1 * 0.5 floors to zero
+    assert table.windows_rolled == 1
+    assert table.shard_accesses() == [4, 0]
+
+
+def test_maybe_roll_follows_the_sim_time_schedule():
+    table = range_table(2, 100)
+    table.decay_interval_ms = 100.0
+    for _ in range(16):
+        table.note_access("item-1")
+    assert table.maybe_roll(0.0) == 0          # anchors the schedule
+    assert table.maybe_roll(50.0) == 0
+    assert table.maybe_roll(250.0) == 2        # two whole windows elapsed
+    assert table.access_counts[1] == 4
+
+
+def test_decayed_counters_track_the_recent_hot_set():
+    # The stale-hotness bug: cumulative counters keep yesterday's hot shard
+    # hottest forever.  With windowed decay the signal follows the load.
+    table = range_table(2, 100)
+    for _ in range(200):
+        table.note_access("item-1")            # old hot set on shard 0
+    for _ in range(3):
+        table.roll_window()
+        for _ in range(40):
+            table.note_access("item-70")       # new hot set on shard 1
+    assert table.hottest_shard() == 1
+    assert table.coolest_group() == 0
+
+
+def test_shard_totals_stay_consistent_across_reshaping():
+    table = range_table(4, 100)
+    for position in range(0, 100, 3):
+        for _ in range(position % 7 + 1):
+            table.note_access(f"item-{position}")
+
+    def brute_force():
+        return [sum(count for position, count in table.access_counts.items()
+                    if assignment.key_range.contains(position))
+                for assignment in table.assignments]
+
+    assert table.shard_accesses() == brute_force()
+    table.split(0, at=10)
+    assert table.shard_accesses() == brute_force()
+    table.migrate(2, destination_group=3)
+    assert table.shard_accesses() == brute_force()
+    table.merge(0)
+    assert table.shard_accesses() == brute_force()
+    table.note_access("item-5")
+    assert table.shard_accesses() == brute_force()
+    assert table.access_count_of(table.assignments[0].key_range) == \
+        table.shard_accesses()[0]
+
+
+def test_access_counts_growth_is_capped_by_cold_aggregation():
+    table = range_table(2, 1_000)
+    table.max_tracked_positions = 16
+    for position in range(1_000):
+        table.note_access(f"item-{position}")
+    for _ in range(100):
+        table.note_access("item-3")
+    assert len(table.access_counts) <= 16 + table.shard_count
+    # Folding the cold tail never loses mass: per-shard totals stay exact.
+    assert sum(table.shard_accesses()) == 1_100
+    assert table.shard_accesses()[0] == 600
+    # The hot position survives compaction at full resolution.
+    assert table.access_counts[3] >= 100
+
+
 # ---------------------------------------------------------------- recovery
 def epoch_record(payload):
     return LogRecord(LogRecordType.EPOCH, f"epoch-{payload['epoch']}",
