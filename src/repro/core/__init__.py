@@ -19,7 +19,8 @@ from .durability import (TransactionFate, committed_state_of,
                          is_transaction_lost, transaction_fate)
 from .matrix import (CrashToleranceRow, LossCondition, crash_tolerance_table,
                      group_safety_comparison_table, loss_condition,
-                     render_loss_table, render_safety_matrix, safety_matrix)
+                     partitioned_loss_condition, render_loss_table,
+                     render_safety_matrix, safety_matrix)
 from .reliability import (ScalingPoint, acid_violation_probability,
                           group_failure_probability,
                           lazy_conflict_probability,
@@ -43,6 +44,7 @@ __all__ = [
     "crash_tolerance_table",
     "CrashToleranceRow",
     "loss_condition",
+    "partitioned_loss_condition",
     "group_safety_comparison_table",
     "LossCondition",
     "render_loss_table",

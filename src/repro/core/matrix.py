@@ -9,7 +9,7 @@ and the tests compare them cell by cell with the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from .safety import DeliveredOn, LoggedOn, SafetyLevel, classify
 
@@ -126,6 +126,38 @@ def loss_condition(level: SafetyLevel, group_fails: bool,
     if level is SafetyLevel.GROUP_ONE_SAFE:
         return group_fails and delegate_crashes
     raise ValueError(f"unhandled level {level}")
+
+
+def partitioned_loss_condition(
+        branches: Iterable[Tuple[SafetyLevel, bool, bool]]) -> bool:
+    """Can a confirmed transaction spanning several shards be lost?
+
+    ``branches`` holds one ``(level, group_fails, delegate_crashes)`` triple
+    per shard the transaction's durability depends on: the owning shard for
+    a fast-path transaction, every participant shard for a 2PC transaction,
+    the *serving owner after the pattern* for a transaction whose range a
+    migration moved.  The composition rule is disjunction — losing any one
+    branch loses the (atomic) transaction, so Table 3 applies per shard and
+    the cell verdicts OR together.
+
+    Two partitioned failure modes deliberately do *not* appear as extra
+    loss terms, because they block rather than lose:
+
+    * a **coordinator crash** never loses a confirmed transaction — before
+      the decision record is durable nothing was installed and the client
+      was never confirmed; after it, the forced DECISION record replays
+      phase 2 on recovery (the classic 2PC blocking discipline), so the
+      crashed-and-recovered home delegate enters this composition as an
+      ordinary ``delegate_crashes=False`` branch;
+    * a **whole-group outage of a decided participant** leaves the branch
+      in doubt until a member recovers; the decided writes are installed
+      then, never dropped.
+
+    As with :func:`loss_condition`, ``delegate_crashes`` means crashed *and
+    never recovered*.
+    """
+    return any(loss_condition(level, group_fails, delegate_crashes)
+               for level, group_fails, delegate_crashes in branches)
 
 
 def group_safety_comparison_table() -> List[LossCondition]:

@@ -135,6 +135,23 @@ class WriteAheadLog:
             if gate is not None:
                 gate.open()
 
+    def force(self, record: LogRecord):
+        """Generator: flush and report whether ``record`` became durable.
+
+        The forced-write discipline of the 2PC decision and routing-epoch
+        records: success is judged by *evidence* — the record must actually
+        be on stable storage afterwards — so a crash mid-flush (the
+        volatile tail dies with the node) reads as failure, never as a
+        phantom forced write.  Callers must still check the node is up
+        *before* appending the record; this only judges the flush.
+        """
+        try:
+            yield from self.flush()
+        except Exception:
+            # The node crashed mid-flush with the request in service.
+            return False
+        return self.is_stable(record)
+
     def flushed_gate(self, txn_id: str) -> Gate:
         """Return a gate that opens once ``txn_id``'s records are durable."""
         if self.is_logged(txn_id):
@@ -144,6 +161,29 @@ class WriteAheadLog:
         return gate
 
     # -- queries ------------------------------------------------------------------
+    def is_stable(self, record: LogRecord) -> bool:
+        """True if ``record`` (an object this log appended) is on stable storage.
+
+        Records reach the stable log in LSN order, so the record's LSN can
+        be bisected in O(log n) instead of scanning (and copying) the whole
+        stable log — this runs once per forced 2PC decision.  The final
+        identity comparison distinguishes the record itself from a
+        same-LSN successor appended after a crash dropped the original with
+        the volatile tail.
+        """
+        if record.lsn is None:
+            return False
+        low, high = 0, len(self._stable)
+        while low < high:
+            mid = (low + high) // 2
+            if self._stable.entries(mid, mid + 1)[0].lsn < record.lsn:
+                low = mid + 1
+            else:
+                high = mid
+        if low >= len(self._stable):
+            return False
+        return self._stable.entries(low, low + 1)[0] is record
+
     def is_logged(self, txn_id: str) -> bool:
         """True if a COMMIT record of ``txn_id`` has reached stable storage."""
         return any(record.record_type is LogRecordType.COMMIT and

@@ -125,3 +125,43 @@ def render_matrix(entries: List[MatrixEntry]) -> str:
         lines.append(f"{entry.technique:>14} | {entry.crash_pattern:>24} | "
                      f"{predicted:>10} | {observed:>9} | {entry.sound}")
     return "\n".join(lines)
+
+
+#: The reduced technique set of the ``--smoke`` CLI run (mirrors the
+#: partitioned matrix: one lazy, one group-based, one end-to-end level).
+SMOKE_TECHNIQUES = ("1-safe", "group-safe", "2-safe")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI / CI smoke entry, consistent with ``repro.experiments.autobalance``
+    and ``repro.experiments.partition_failure_matrix``.
+
+    Runs the single-group matrix, prints and writes the report, and exits
+    non-zero on a soundness violation or when no predicted-possible-loss
+    cell demonstrated a concrete losing schedule.
+    """
+    from .report import matrix_cli
+
+    def run(arguments):
+        techniques = list(SMOKE_TECHNIQUES) if arguments.smoke else None
+        entries = run_failure_matrix(techniques=techniques,
+                                     seed=arguments.seed)
+        return entries, render_matrix(entries)
+
+    def problems_of(entries) -> List[str]:
+        problems: List[str] = []
+        violations = soundness_violations(entries)
+        if violations:
+            problems.append(f"{len(violations)} soundness violations")
+        if not demonstrated_losses(entries):
+            problems.append("no predicted-possible-loss cell demonstrated "
+                            "a loss schedule")
+        return problems
+
+    return matrix_cli(argv, description=__doc__.splitlines()[0],
+                      report_name="failure_matrix", run=run,
+                      problems_of=problems_of)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -1,0 +1,711 @@
+"""Partitioned failure-injection matrix: Tables 2/3 for a sharded cluster.
+
+The single-group failure matrix (:mod:`repro.experiments.failure_matrix`)
+confronts the paper's derived loss conditions with concrete crash schedules
+on one replica group.  This module extends the same discipline to the
+partitioned subsystem: every (technique, shard count, crash pattern) cell
+derives a predicted-loss verdict by composing the per-shard criteria with
+the 2PC blocking rules (:func:`repro.core.matrix.partitioned_loss_condition`),
+runs the concrete schedule through the crash-injection failpoints of
+:class:`~repro.partition.cluster.PartitionedCluster` (deterministic crash
+points keyed to WAL / 2PC / migration phase, never to wall time), and audits
+per-key commit integrity.
+
+Crash-pattern taxonomy (:data:`PARTITIONED_CRASH_PATTERNS`):
+
+* **shard-local** — ``none``, ``shard-delegate``, ``shard-outage`` (the
+  whole group of one shard crashes, the delegate never recovers) and
+  ``shard-outage-recover-all``.  These are the single-group Table 2/3
+  patterns replayed *inside* one shard of a live partitioned cluster, with
+  the extra observation that the other shards keep serving.
+* **coordinator** — ``coordinator-before-decision`` (the home delegate, and
+  with it the 2PC coordinator, crashes after every branch voted yes but
+  before the decision record is durable: nothing was installed, the client
+  is answered with an abort) and ``coordinator-after-decision`` (the crash
+  lands after the forced DECISION record: the client blocks — classic 2PC —
+  and decision replay finishes phase 2 on recovery).
+* **mid-migration** — ``migration-source-copy`` (whole source group dies
+  during the warm copy; the migration must abort and leave the old owner
+  authoritative), ``migration-dest-fence`` (the destination group dies under
+  the write fence; the fence must lift and the source serve again) and
+  ``migration-post-epoch`` (the old owner dies right after the new map's
+  EPOCH record is durable on the destination but before the old owner
+  learns of it; recovery must come up with the *new* map and the
+  destination must serve the migrated keys).
+
+Two properties are checked per cell, exactly as in the single-group matrix:
+**soundness** (a "No Transaction Loss" verdict is never contradicted, and
+the run's invariants — atomicity, resolution of every client, routing-map
+crash consistency, post-pattern availability — all hold) and
+**demonstration** (the predicted-possible-loss cells exhibit at least one
+concrete losing schedule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.criteria import safety_of_technique
+from ..core.durability import transaction_fate
+from ..core.matrix import partitioned_loss_condition
+from ..core.safety import SafetyLevel
+from ..db.operations import Operation, OperationType, TransactionProgram
+from ..partition.cluster import MigrationReport, PartitionedCluster
+from ..partition.coordinator import CrossPartitionOutcome
+from ..workload.params import SimulationParameters
+
+#: The partitioned crash patterns, with one-line descriptions (the taxonomy
+#: of the module docstring; validated by :func:`run_partitioned_crash_scenario`).
+PARTITIONED_CRASH_PATTERNS: Dict[str, str] = {
+    "none": "no crash (audit-machinery baseline)",
+    "shard-delegate": "the delegate of the owning shard crashes, stays down",
+    "shard-outage": "whole-shard outage; only the non-delegates recover",
+    "shard-outage-recover-all": "whole-shard outage; every server recovers",
+    "coordinator-before-decision": "home delegate dies after the votes, "
+                                   "before the decision is durable",
+    "coordinator-after-decision": "home delegate dies after the forced "
+                                  "DECISION record, mid phase 2",
+    "migration-source-copy": "source group dies during the warm copy",
+    "migration-dest-fence": "destination group dies under the write fence",
+    "migration-post-epoch": "old owner dies after the EPOCH record is "
+                            "durable on the destination",
+}
+
+#: Patterns every matrix run must include for the acceptance bars
+#: (whole-shard outage, a coordinator crash, two mid-migration points).
+REQUIRED_PATTERN_CLASSES: Dict[str, Tuple[str, ...]] = {
+    "whole-shard outage": ("shard-outage", "shard-outage-recover-all"),
+    "coordinator crash": ("coordinator-before-decision",
+                          "coordinator-after-decision"),
+    "mid-migration copy crash": ("migration-source-copy",),
+    "mid-migration fence/handoff crash": ("migration-dest-fence",
+                                          "migration-post-epoch"),
+}
+
+DEFAULT_TECHNIQUES = ("0-safe", "1-safe", "group-safe", "group-1-safe",
+                      "2-safe")
+#: The reduced technique set of the CI smoke run — still spans a lazy
+#: technique (demonstrates delegate-crash loss), a group-based one
+#: (demonstrates whole-shard loss) and 2-safe (never loses).
+SMOKE_TECHNIQUES = ("1-safe", "group-safe", "2-safe")
+
+
+# --------------------------------------------------------------------------- outcome types
+@dataclass
+class ShardStatus:
+    """What the crash pattern did to one shard the audited transaction needs."""
+
+    partition_id: int
+    group_failed: bool
+    #: Crashed and never recovered (the Table 3 meaning of "Sd crashes").
+    delegate_crashed: bool
+
+
+@dataclass
+class ConfirmedWrite:
+    """One client-confirmed update, for the per-key commit-integrity audit."""
+
+    txn_id: str
+    #: The group that committed (and confirmed) it.
+    partition_id: int
+    values: Dict[str, str]
+
+
+@dataclass
+class PartitionedScenarioOutcome:
+    """Everything one partitioned failure scenario produced, audited."""
+
+    technique: str
+    crash_pattern: str
+    shard_count: int
+    #: Was the audited transaction confirmed to its client?
+    confirmed: bool
+    #: Statuses of the shards the audited transaction's durability depends on.
+    audited_shards: List[ShardStatus] = field(default_factory=list)
+    #: True if a confirmed write is gone from every server that could serve it.
+    transaction_lost: bool = False
+    #: Per-key commit-integrity audit failures (lost / duplicated / missing).
+    audit_failures: List[str] = field(default_factory=list)
+    #: An aborted transaction installed writes nowhere (all-or-nothing).
+    atomicity_ok: bool = True
+    #: Every submitted client transaction was eventually answered.
+    resolved: bool = True
+    #: The client was already answered while the crashed coordinator was
+    #: still down (the bounded decision wait of ``coordinator-before-
+    #: decision``; trivially True for every other pattern).
+    resolved_before_recovery: bool = True
+    #: The client was observably blocked before the recovery (2PC patterns).
+    blocked_before_recovery: bool = False
+    #: A fresh transaction committed after the pattern ran its course.
+    fresh_commit_ok: bool = True
+    #: The ownership map a restarted cluster would recover matches the map
+    #: the live cluster serves (the migration crash-consistency contract).
+    routing_consistent: bool = True
+    #: The migration resolved the way the pattern demands (aborted with the
+    #: right reason, or completed verified).  None for non-migration patterns.
+    migration_ok: Optional[bool] = None
+    migration: Optional[MigrationReport] = None
+    cross: Optional[CrossPartitionOutcome] = None
+    crashed_servers: List[str] = field(default_factory=list)
+    recovered_servers: List[str] = field(default_factory=list)
+
+    @property
+    def invariants_ok(self) -> bool:
+        """The pattern's loss-independent invariants all held."""
+        return (self.atomicity_ok and self.resolved
+                and self.resolved_before_recovery
+                and self.fresh_commit_ok and self.routing_consistent
+                and self.migration_ok is not False
+                and not any(failure.startswith("duplicated")
+                            for failure in self.audit_failures))
+
+
+@dataclass
+class PartitionedMatrixEntry:
+    """One (technique, shard count, crash pattern) cell of the matrix."""
+
+    technique: str
+    level: SafetyLevel
+    shard_count: int
+    crash_pattern: str
+    predicted_possible_loss: bool
+    observed_loss: bool
+    outcome: PartitionedScenarioOutcome
+
+    @property
+    def sound(self) -> bool:
+        """True if the observation does not contradict the prediction.
+
+        Beyond the single-group rule (no observed loss in a no-loss cell),
+        a partitioned cell also demands the pattern's invariants: 2PC
+        atomicity, every client answered, the recovered routing map
+        consistent with the served one, and post-pattern availability.
+        """
+        return ((self.predicted_possible_loss or not self.observed_loss)
+                and self.outcome.invariants_ok)
+
+
+# --------------------------------------------------------------------------- helpers
+def _update_program(values: Dict[str, str], client: str) -> TransactionProgram:
+    operations = tuple(Operation(OperationType.WRITE, key, value)
+                       for key, value in values.items())
+    return TransactionProgram(operations=operations, client=client)
+
+
+def _advance_until(cluster: PartitionedCluster, condition, limit: float,
+                   step: float = 5.0) -> bool:
+    """Advance the simulation until ``condition()`` (False if ``limit`` hit)."""
+    while not condition():
+        if cluster.sim.now >= limit:
+            return False
+        cluster.run(until=min(limit, cluster.sim.now + step))
+    return True
+
+
+def _confirm_write(cluster: PartitionedCluster, keys: Sequence[str],
+                   tag: str, limit_ms: float = 5_000.0) -> ConfirmedWrite:
+    """Submit one update-only transaction and wait for its confirmation."""
+    values = {key: f"{tag}:{key}" for key in keys}
+    waiter = cluster.run_transaction(_update_program(values, client=tag))
+    result = cluster.sim.run_until_complete(
+        waiter, limit=cluster.sim.now + limit_ms)
+    if not result.committed:
+        raise RuntimeError(
+            f"setup transaction {result.txn_id} failed to confirm "
+            f"({result.abort_reason}); the scenario cannot run")
+    return ConfirmedWrite(txn_id=result.txn_id,
+                          partition_id=cluster.partition_of(keys[0]),
+                          values=values)
+
+
+def _probe_commit(cluster: PartitionedCluster, keys: Sequence[str],
+                  tag: str, limit_ms: float = 5_000.0) -> bool:
+    """True if a fresh update on ``keys`` commits within ``limit_ms``."""
+    waiter = cluster.run_transaction(
+        _update_program({key: f"{tag}:{key}" for key in keys}, client=tag))
+    if not _advance_until(cluster, lambda: waiter.triggered,
+                          limit=cluster.sim.now + limit_ms):
+        return False
+    return bool(getattr(waiter.value, "committed", False))
+
+
+def _shard_keys(cluster: PartitionedCluster, shard: int,
+                count: int = 3) -> List[str]:
+    """Distinct item keys inside ``shard``'s current range (range strategy)."""
+    key_range = cluster.routing.range_of(shard)
+    width = key_range.width
+    positions = sorted({key_range.lo + (index + 1) * width // (count + 1)
+                        for index in range(count)})
+    return [f"item-{position}" for position in positions]
+
+
+def _probe_key(cluster: PartitionedCluster, shard: int) -> str:
+    """A key of ``shard`` disjoint from :func:`_shard_keys` (first position).
+
+    Probe transactions write fresh values; keeping them off the audited
+    keys keeps the per-key audit's expected values intact.
+    """
+    return f"item-{cluster.routing.range_of(shard).lo}"
+
+
+def audit_confirmed_writes(cluster: PartitionedCluster,
+                           writes: Sequence[ConfirmedWrite]
+                           ) -> Tuple[List[str], bool]:
+    """Per-key commit-integrity audit of confirmed writes after a pattern.
+
+    For every confirmed write: **no duplicated commit** (its transaction is
+    recorded as committed on at most one group) and **no lost commit** —
+    if the currently-owning group is the one that confirmed it, the
+    transaction's :func:`~repro.core.durability.transaction_fate` must not
+    be lost; if ownership moved (a migration completed mid-pattern), the
+    new owner must serve every written value.  Returns ``(failures,
+    lost_any)`` where ``lost_any`` flags an actual transaction loss (the
+    matrix's *observed* axis) as opposed to a duplication.
+    """
+    failures: List[str] = []
+    lost_any = False
+    for write in writes:
+        committed_groups = [
+            partition_id for partition_id in range(cluster.partition_count)
+            if cluster.group(partition_id).committed_anywhere(write.txn_id)]
+        if len(committed_groups) > 1:
+            failures.append(f"duplicated commit: {write.txn_id} recorded on "
+                            f"groups {committed_groups}")
+        owner = cluster.partition_of(next(iter(write.values)))
+        group = cluster.group(owner)
+        if owner == write.partition_id:
+            fate = transaction_fate(group, write.txn_id,
+                                    confirmed_to_client=True)
+            if fate.is_lost:
+                lost_any = True
+                failures.append(
+                    f"lost commit: {write.txn_id} is gone from every "
+                    f"surviving server of its owning group {owner}")
+        else:
+            up_servers = group.up_servers()
+            served = bool(up_servers) and all(
+                any(group.database(name).value_of(key) == value
+                    for name in up_servers)
+                for key, value in write.values.items())
+            if not served:
+                lost_any = True
+                failures.append(
+                    f"lost commit: {write.txn_id} moved to group {owner} "
+                    f"but its values are not served there")
+    return failures, lost_any
+
+
+def _freeze_non_delegates(cluster: PartitionedCluster, partition_id: int,
+                          delegate: str) -> None:
+    group = cluster.group(partition_id)
+    for name in group.server_names():
+        if name != delegate:
+            group.replica(name).processing_gate.close()
+
+
+def _open_gates(cluster: PartitionedCluster, partition_id: int) -> None:
+    group = cluster.group(partition_id)
+    for name in group.server_names():
+        group.replica(name).processing_gate.open()
+
+
+def _recover_group(cluster: PartitionedCluster, partition_id: int,
+                   servers: Sequence[str], step_ms: float = 50.0) -> None:
+    for name in servers:
+        cluster.recover_server(partition_id, name)
+        cluster.run(until=cluster.sim.now + step_ms)
+
+
+# --------------------------------------------------------------------------- scenarios
+def run_partitioned_crash_scenario(technique: str, crash_pattern: str,
+                                   shard_count: int = 2, seed: int = 1,
+                                   params: Optional[SimulationParameters]
+                                   = None,
+                                   settle_ms: float = 2_000.0
+                                   ) -> PartitionedScenarioOutcome:
+    """Run one partitioned failure-injection scenario and audit it.
+
+    Builds a range-sharded cluster of ``shard_count`` groups (all running
+    ``technique``), confirms an update inside shard 0's range, injects the
+    pattern's crash — through a deterministic failpoint for the 2PC and
+    migration patterns — runs the recoveries, and audits the aftermath.
+    """
+    if crash_pattern not in PARTITIONED_CRASH_PATTERNS:
+        raise ValueError(
+            f"unknown crash pattern {crash_pattern!r}; expected one of "
+            f"{sorted(PARTITIONED_CRASH_PATTERNS)}")
+    if shard_count < 2:
+        raise ValueError("the partitioned matrix needs at least 2 shards")
+    parameters = params or SimulationParameters.small(server_count=3,
+                                                      item_count=100)
+    parameters = parameters.with_overrides(
+        partition_count=shard_count, cross_partition_probability=0.0)
+    cluster = PartitionedCluster(technique, params=parameters, seed=seed,
+                                 strategy="range")
+    cluster.start()
+    if crash_pattern in ("coordinator-before-decision",
+                         "coordinator-after-decision"):
+        return _run_coordinator_pattern(cluster, technique, crash_pattern,
+                                        settle_ms)
+    if crash_pattern in ("migration-source-copy", "migration-dest-fence",
+                         "migration-post-epoch"):
+        return _run_migration_pattern(cluster, technique, crash_pattern,
+                                      settle_ms)
+    return _run_shard_pattern(cluster, technique, crash_pattern, settle_ms)
+
+
+def _run_shard_pattern(cluster: PartitionedCluster, technique: str,
+                       pattern: str, settle_ms: float
+                       ) -> PartitionedScenarioOutcome:
+    """The single-group Table 2/3 patterns, replayed inside shard 0."""
+    sim = cluster.sim
+    group = cluster.group(0)
+    names = group.server_names()
+    delegate = group.choose_delegate(0)
+    remote_shard = cluster.partition_count - 1
+    freeze = pattern in ("shard-outage", "shard-outage-recover-all")
+    if freeze:
+        # The Fig. 5 window: the non-delegates crash after *delivering* the
+        # transaction's message but before processing it.
+        _freeze_non_delegates(cluster, 0, delegate)
+
+    write = _confirm_write(cluster, _shard_keys(cluster, 0), tag=pattern)
+    sim.run(until=sim.now + 10.0)
+
+    non_delegates = [name for name in names if name != delegate]
+    if pattern == "none":
+        crashed: List[str] = []
+        recovered: List[str] = []
+    elif pattern == "shard-delegate":
+        crashed, recovered = [delegate], []
+        cluster.crash_server(0, delegate)
+    else:
+        crashed = list(names)
+        recovered = (non_delegates if pattern == "shard-outage"
+                     else non_delegates + [delegate])
+        cluster.crash_partition(0)
+    sim.run(until=sim.now + 5.0)
+    _open_gates(cluster, 0)
+    _recover_group(cluster, 0, recovered)
+    sim.run(until=sim.now + settle_ms)
+
+    outcome = PartitionedScenarioOutcome(
+        technique=technique, crash_pattern=pattern,
+        shard_count=cluster.partition_count, confirmed=True,
+        crashed_servers=crashed, recovered_servers=recovered)
+    outcome.audited_shards = [ShardStatus(
+        partition_id=0,
+        group_failed=len(crashed) > len(names) // 2,
+        delegate_crashed=delegate in crashed and delegate not in recovered)]
+    # The outage is contained: the other shards keep serving.
+    outcome.fresh_commit_ok = _probe_commit(
+        cluster, [_probe_key(cluster, remote_shard)], tag=f"{pattern}.probe")
+    outcome.audit_failures, outcome.transaction_lost = \
+        audit_confirmed_writes(cluster, [write])
+    outcome.routing_consistent = (
+        cluster.recovered_routing().partition_of(
+            next(iter(write.values))) == 0)
+    return outcome
+
+
+def _run_coordinator_pattern(cluster: PartitionedCluster, technique: str,
+                             pattern: str, settle_ms: float
+                             ) -> PartitionedScenarioOutcome:
+    """Home-delegate (= coordinator) crashes around the 2PC decision point."""
+    sim = cluster.sim
+    remote_shard = cluster.partition_count - 1
+    local_key = _shard_keys(cluster, 0, count=1)[0]
+    remote_key = _shard_keys(cluster, remote_shard, count=1)[0]
+    values = {local_key: f"{pattern}:{local_key}",
+              remote_key: f"{pattern}:{remote_key}"}
+
+    crash_site: Dict[str, object] = {}
+
+    def crash_home(context: Dict[str, object]) -> None:
+        home = context["home"]
+        server = context["delegates"][home]
+        crash_site.update(partition=home, server=server)
+        cluster.crash_server(home, server)
+
+    phase = ("2pc.prepared" if pattern == "coordinator-before-decision"
+             else "2pc.decided")
+    cluster.add_failpoint(phase, crash_home)
+    waiter = cluster.run_transaction(_update_program(values, client=pattern))
+
+    outcome = PartitionedScenarioOutcome(
+        technique=technique, crash_pattern=pattern,
+        shard_count=cluster.partition_count, confirmed=False)
+    if pattern == "coordinator-before-decision":
+        # The decision was never durable: the coordinator aborts (bounded
+        # decision wait) and the client is answered while the crashed home
+        # delegate is still down — nothing installed, nobody waits for it.
+        outcome.resolved_before_recovery = _advance_until(
+            cluster, lambda: waiter.triggered, limit=sim.now + 8_000.0)
+    else:
+        # The decision is durable: the client blocks (classic 2PC) until
+        # the recovered home delegate replays the DECISION record.
+        sim.run(until=sim.now + 1_500.0)
+        outcome.blocked_before_recovery = not waiter.triggered
+    assert crash_site, "the 2PC failpoint never fired"
+    cluster.recover_server(crash_site["partition"], crash_site["server"])
+    outcome.recovered_servers = [crash_site["server"]]
+    outcome.crashed_servers = [crash_site["server"]]
+    outcome.resolved = _advance_until(cluster, lambda: waiter.triggered,
+                                      limit=sim.now + 20_000.0)
+    sim.run(until=sim.now + settle_ms)
+
+    cross = waiter.value if waiter.triggered else None
+    outcome.cross = cross
+    outcome.confirmed = bool(cross is not None and cross.committed)
+    involved = (0, remote_shard)
+    # Every involved delegate is up again: each branch enters the
+    # composition as an ordinary no-crash shard (the 2PC blocking rules
+    # turn the coordinator crash into delay, not loss).
+    outcome.audited_shards = [
+        ShardStatus(partition_id=pid, group_failed=False,
+                    delegate_crashed=False) for pid in involved]
+    if outcome.confirmed:
+        writes = []
+        for branch in cross.branches:
+            if branch.txn_id is None:
+                continue
+            branch_values = {
+                key: value for key, value in values.items()
+                if cluster.partition_of(key) == branch.partition_id}
+            writes.append(ConfirmedWrite(txn_id=branch.txn_id,
+                                         partition_id=branch.partition_id,
+                                         values=branch_values))
+        outcome.audit_failures, outcome.transaction_lost = \
+            audit_confirmed_writes(cluster, writes)
+    else:
+        # Atomicity of the abort: none of the transaction's values may have
+        # been installed on any server of any group.
+        installed = [
+            (key, name)
+            for partition_id in range(cluster.partition_count)
+            for name in cluster.group(partition_id).server_names()
+            for key, value in values.items()
+            if cluster.group(partition_id).database(name).value_of(key)
+            == value]
+        outcome.atomicity_ok = not installed
+        if installed:
+            outcome.audit_failures.append(
+                f"partial install of aborted transaction: {installed}")
+    outcome.fresh_commit_ok = (
+        _probe_commit(cluster, [_probe_key(cluster, 0)],
+                      tag=f"{pattern}.probe0")
+        and _probe_commit(cluster, [_probe_key(cluster, remote_shard)],
+                          tag=f"{pattern}.probe1"))
+    return outcome
+
+
+def _run_migration_pattern(cluster: PartitionedCluster, technique: str,
+                           pattern: str, settle_ms: float
+                           ) -> PartitionedScenarioOutcome:
+    """Whole-group crashes at deterministic points of a live migration."""
+    sim = cluster.sim
+    source, destination = 0, cluster.partition_count - 1
+    target_keys = _shard_keys(cluster, source)
+    write = _confirm_write(cluster, target_keys, tag=pattern)
+    # Let the confirmed write finish processing and reach the delegate's
+    # log before anything crashes (the lazy techniques confirm early).
+    sim.run(until=sim.now + 150.0)
+
+    phase = {"migration-source-copy": "migration.copy-chunk",
+             "migration-dest-fence": "migration.fence",
+             "migration-post-epoch": "migration.epoch-logged"}[pattern]
+    crashed_group = destination if pattern == "migration-dest-fence" \
+        else source
+    cluster.add_failpoint(
+        phase, lambda context: cluster.crash_partition(crashed_group))
+    driver = cluster.migrate(source, destination, chunk_size=8)
+    if not _advance_until(cluster, lambda: driver.triggered,
+                          limit=sim.now + 30_000.0):
+        raise RuntimeError(f"migration driver never finished under "
+                           f"pattern {pattern!r}")
+    report = cluster.migration_reports[-1]
+
+    outcome = PartitionedScenarioOutcome(
+        technique=technique, crash_pattern=pattern,
+        shard_count=cluster.partition_count, confirmed=True,
+        migration=report)
+    group = cluster.group(crashed_group)
+    outcome.crashed_servers = list(group.server_names())
+
+    if pattern == "migration-source-copy":
+        outcome.migration_ok = (report.aborted
+                                and report.abort_reason
+                                == "source-unavailable")
+        owner, group_failed = source, True
+    elif pattern == "migration-dest-fence":
+        outcome.migration_ok = (report.aborted
+                                and report.abort_reason
+                                == "destination-unavailable")
+        owner, group_failed = source, False
+        # The fence must have lifted with the abort: the range accepts
+        # writes again while the destination group is still down.
+        outcome.fresh_commit_ok = _probe_commit(
+            cluster, [_probe_key(cluster, source)], tag=f"{pattern}.unfenced")
+    else:  # migration-post-epoch
+        outcome.migration_ok = bool(report.completed and report.verified)
+        owner, group_failed = destination, False
+        # The handoff must already serve: the migrated range commits on
+        # the destination while the old owner is still down.
+        outcome.fresh_commit_ok = _probe_commit(
+            cluster, [_probe_key(cluster, 0)], tag=f"{pattern}.handoff")
+
+    delegate = group.server_names()[0]
+    non_delegates = [name for name in group.server_names()
+                     if name != delegate]
+    _recover_group(cluster, crashed_group, non_delegates + [delegate])
+    outcome.recovered_servers = non_delegates + [delegate]
+    sim.run(until=sim.now + settle_ms)
+
+    outcome.audited_shards = [ShardStatus(partition_id=owner,
+                                          group_failed=group_failed,
+                                          delegate_crashed=False)]
+    served_by = cluster.partition_of(target_keys[0])
+    recovered_by = cluster.recovered_routing().partition_of(target_keys[0])
+    outcome.routing_consistent = served_by == owner == recovered_by
+    failures, lost = audit_confirmed_writes(cluster, [write])
+    outcome.audit_failures.extend(failures)
+    outcome.transaction_lost = lost
+    if outcome.fresh_commit_ok:
+        outcome.fresh_commit_ok = _probe_commit(
+            cluster, [_probe_key(cluster, destination)],
+            tag=f"{pattern}.probe")
+    return outcome
+
+
+# --------------------------------------------------------------------------- the matrix
+def run_partitioned_failure_matrix(techniques: Optional[Sequence[str]] = None,
+                                   patterns: Optional[Sequence[str]] = None,
+                                   shard_count: int = 2, seed: int = 1,
+                                   params: Optional[SimulationParameters]
+                                   = None
+                                   ) -> List[PartitionedMatrixEntry]:
+    """Run every (technique, shard count, crash pattern) cell of the matrix.
+
+    The predicted verdict composes the per-shard Table 3 conditions over
+    the shards the audited transaction depends on
+    (:func:`~repro.core.matrix.partitioned_loss_condition`), guarded by the
+    confirmation rule: a transaction that was never confirmed to its client
+    cannot be *lost* in the sense of the paper, whatever happens to it.
+    """
+    chosen = list(techniques) if techniques is not None \
+        else list(DEFAULT_TECHNIQUES)
+    chosen_patterns = list(patterns) if patterns is not None \
+        else list(PARTITIONED_CRASH_PATTERNS)
+    entries: List[PartitionedMatrixEntry] = []
+    for technique in chosen:
+        level = safety_of_technique(technique)
+        for pattern in chosen_patterns:
+            outcome = run_partitioned_crash_scenario(
+                technique, pattern, shard_count=shard_count, seed=seed,
+                params=params)
+            predicted = outcome.confirmed and partitioned_loss_condition(
+                (level, status.group_failed, status.delegate_crashed)
+                for status in outcome.audited_shards)
+            entries.append(PartitionedMatrixEntry(
+                technique=technique, level=level, shard_count=shard_count,
+                crash_pattern=pattern,
+                predicted_possible_loss=predicted,
+                observed_loss=outcome.transaction_lost,
+                outcome=outcome))
+    return entries
+
+
+def partitioned_soundness_violations(entries: Sequence[PartitionedMatrixEntry]
+                                     ) -> List[PartitionedMatrixEntry]:
+    """Cells whose observation contradicts the prediction or invariants."""
+    return [entry for entry in entries if not entry.sound]
+
+
+def partitioned_demonstrated_losses(entries: Sequence[PartitionedMatrixEntry]
+                                    ) -> List[PartitionedMatrixEntry]:
+    """Predicted-possible-loss cells whose schedule actually lost."""
+    return [entry for entry in entries
+            if entry.predicted_possible_loss and entry.observed_loss]
+
+
+def missing_pattern_classes(entries: Sequence[PartitionedMatrixEntry]
+                            ) -> List[str]:
+    """Required pattern classes (acceptance bars) no entry covers."""
+    run_patterns = {entry.crash_pattern for entry in entries}
+    return [label
+            for label, members in REQUIRED_PATTERN_CLASSES.items()
+            if not run_patterns.intersection(members)]
+
+
+def render_partitioned_matrix(entries: Sequence[PartitionedMatrixEntry]
+                              ) -> str:
+    """Human-readable rendering of the partitioned matrix (report file)."""
+    header = (f"{'technique':>14} | {'shards':>6} | {'pattern':>28} | "
+              f"{'predicted':>10} | {'observed':>9} | {'invariants':>10} | "
+              f"sound")
+    lines = [header, "-" * len(header)]
+    for entry in entries:
+        predicted = ("possible" if entry.predicted_possible_loss
+                     else "no loss")
+        observed = "LOST" if entry.observed_loss else "kept"
+        invariants = "ok" if entry.outcome.invariants_ok else "VIOLATED"
+        lines.append(
+            f"{entry.technique:>14} | {entry.shard_count:>6} | "
+            f"{entry.crash_pattern:>28} | {predicted:>10} | "
+            f"{observed:>9} | {invariants:>10} | {entry.sound}")
+    violations = partitioned_soundness_violations(entries)
+    demonstrated = partitioned_demonstrated_losses(entries)
+    lines.append("")
+    lines.append(f"cells: {len(entries)}  soundness violations: "
+                 f"{len(violations)}  demonstrated losses: "
+                 f"{len(demonstrated)}")
+    for entry in violations:
+        lines.append(f"  VIOLATION {entry.technique}/{entry.crash_pattern}: "
+                     f"{entry.outcome.audit_failures}")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- CLI
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI / CI smoke entry: run the matrix and enforce the acceptance bars.
+
+    Exits non-zero on any soundness violation, on a run that fails to
+    demonstrate a loss in a predicted-possible-loss cell, or on a run
+    missing one of the required pattern classes — so a regression in the
+    partitioned crash handling fails CI even without the benchmark job.
+    """
+    from .report import matrix_cli
+
+    def run(arguments):
+        techniques = (SMOKE_TECHNIQUES if arguments.smoke
+                      else DEFAULT_TECHNIQUES)
+        entries = run_partitioned_failure_matrix(
+            techniques=techniques, shard_count=arguments.shards,
+            seed=arguments.seed)
+        return entries, render_partitioned_matrix(entries)
+
+    def problems_of(entries) -> List[str]:
+        problems: List[str] = []
+        for label in missing_pattern_classes(entries):
+            problems.append(f"required pattern class not exercised: {label}")
+        violations = partitioned_soundness_violations(entries)
+        if violations:
+            problems.append(f"{len(violations)} soundness violations")
+        if not partitioned_demonstrated_losses(entries):
+            problems.append("no predicted-possible-loss cell demonstrated "
+                            "a loss schedule")
+        return problems
+
+    return matrix_cli(
+        argv, description=__doc__.splitlines()[0],
+        report_name="partition_failure_matrix", run=run,
+        problems_of=problems_of,
+        extra_arguments=(
+            ("--shards", dict(type=int, default=2,
+                              help="shard count of every scenario "
+                                   "(default 2)")),))
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -57,7 +57,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..db.operations import Operation, OperationType, TransactionProgram
 from ..db.wal import LogRecord
@@ -134,6 +134,31 @@ class MigrationReport:
         if not self.fence_started_at or not self.completed_at:
             return 0.0
         return self.completed_at - self.fence_started_at
+
+
+@dataclass
+class CrashEvent:
+    """One injected crash or recovery, for the failure-injection audit trail."""
+
+    at: float
+    kind: str                      # "crash" | "recover"
+    partition_id: int
+    server: Optional[str] = None   # None = the whole group
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        scope = self.server or "group"
+        return f"<CrashEvent {self.kind} p{self.partition_id}.{scope} @{self.at:.1f}>"
+
+
+@dataclass
+class _Failpoint:
+    """One registered crash-injection hook (see :meth:`PartitionedCluster.
+    add_failpoint`)."""
+
+    phase: str
+    callback: Callable[[Dict[str, object]], None]
+    once: bool = True
+    fired: int = 0
 
 
 @dataclass
@@ -231,6 +256,14 @@ class PartitionedCluster:
         #: attached (see :class:`repro.partition.controller.
         #: RebalanceController`, which registers itself here).
         self.controller = None
+        #: Registered crash-injection hooks, keyed by protocol phase (see
+        #: :meth:`add_failpoint`).  Empty outside failure experiments.
+        self._failpoints: Dict[str, List[_Failpoint]] = {}
+        #: Phase -> number of times a registered failpoint fired there.
+        self.failpoints_fired: Dict[str, int] = {}
+        #: Every injected crash / recovery, in simulation order — the audit
+        #: trail the failure-matrix experiments attach to their report.
+        self.crash_log: List[CrashEvent] = []
         self._started = False
 
     # ------------------------------------------------------------------ access
@@ -287,6 +320,74 @@ class PartitionedCluster:
         while submits and submits[0] < horizon:
             submits.popleft()
         return len(submits) / (self.SUBMIT_RATE_WINDOW_MS / 1000.0)
+
+    # ------------------------------------------------------------------ failpoints
+    #: Protocol phases at which a failpoint can fire.  Each is keyed to a
+    #: WAL / 2PC / migration state transition, never to wall time, so a
+    #: registered crash lands at a *deterministic* point of the protocol:
+    #:
+    #: * ``2pc.prepared`` — every branch voted yes; the decision record has
+    #:   not been force-logged yet (context: ``xid``, ``home``,
+    #:   ``delegates``).
+    #: * ``2pc.decided`` — the decision record is durable and registered for
+    #:   replay; phase 2 has not started (same context).
+    #: * ``migration.copy-start`` — the warm copy is about to dispatch its
+    #:   first chunk (context: ``report``).
+    #: * ``migration.copy-chunk`` — one warm-copy chunk just committed on the
+    #:   destination (context: ``report``, ``chunk_index``).
+    #: * ``migration.fence`` — the write fence is up, the drain has not
+    #:   started (context: ``report``).
+    #: * ``migration.epoch-logged`` — the new map's EPOCH record is durable
+    #:   on the destination delegate; the old owner has not been told and
+    #:   the table has not moved yet (context: ``report``, ``epoch``).
+    FAILPOINT_PHASES = ("2pc.prepared", "2pc.decided", "migration.copy-start",
+                        "migration.copy-chunk", "migration.fence",
+                        "migration.epoch-logged")
+
+    def add_failpoint(self, phase: str,
+                      callback: Callable[[Dict[str, object]], None],
+                      once: bool = True) -> None:
+        """Register ``callback`` to run when the protocol reaches ``phase``.
+
+        The callback receives a context dict (``phase``, ``cluster``, plus
+        the phase-specific keys listed on :attr:`FAILPOINT_PHASES`) and
+        typically calls :meth:`crash_server` / :meth:`crash_partition` — the
+        deterministic crash-injection mechanism of the partitioned failure
+        matrix.  With ``once`` (the default) the hook is removed after its
+        first firing.
+        """
+        if phase not in self.FAILPOINT_PHASES:
+            raise ValueError(f"unknown failpoint phase {phase!r}; expected "
+                             f"one of {self.FAILPOINT_PHASES}")
+        self._failpoints.setdefault(phase, []).append(
+            _Failpoint(phase=phase, callback=callback, once=once))
+
+    def fire_failpoint(self, phase: str, **context) -> int:
+        """Fire the failpoints of ``phase`` (internal; called by protocol code).
+
+        Returns how many hooks ran.  A no-op (and O(1)) when nothing is
+        registered, so production paths pay nothing for the instrumentation.
+        """
+        hooks = self._failpoints.get(phase)
+        if not hooks:
+            return 0
+        context["phase"] = phase
+        context["cluster"] = self
+        fired = 0
+        survivors: List[_Failpoint] = []
+        for hook in hooks:
+            hook.fired += 1
+            fired += 1
+            self.failpoints_fired[phase] = \
+                self.failpoints_fired.get(phase, 0) + 1
+            hook.callback(dict(context))
+            if not hook.once:
+                survivors.append(hook)
+        if survivors:
+            self._failpoints[phase] = survivors
+        else:
+            del self._failpoints[phase]
+        return fired
 
     # ------------------------------------------------------------------ lifecycle
     def start(self) -> None:
@@ -575,6 +676,8 @@ class PartitionedCluster:
             return "destination-unavailable"
         entry.report.keys_copied += len(chunk)
         entry.report.copy_chunks += 1
+        self.fire_failpoint("migration.copy-chunk", report=entry.report,
+                            chunk_index=entry.report.copy_chunks)
         return None
 
     @staticmethod
@@ -616,6 +719,7 @@ class PartitionedCluster:
             failure: Optional[str] = None
             tokens = float(copy_concurrency)
             refilled_at = self.sim.now
+            self.fire_failpoint("migration.copy-start", report=report)
 
             def refill(tokens: float, refilled_at: float):
                 rate = max(copy_min_tps,
@@ -662,6 +766,7 @@ class PartitionedCluster:
             self.routing.fence(entry.key_range)
             fenced = True
             report.fence_started_at = self.sim.now
+            self.fire_failpoint("migration.fence", report=report)
             drained = yield from self._drain_range(
                 entry, deadline=self.sim.now + fence_timeout)
             if not drained:
@@ -712,6 +817,8 @@ class PartitionedCluster:
                         entry, "destination-unavailable", fenced)
                 if self.routing.epoch + 1 == payload["epoch"]:
                     break
+            self.fire_failpoint("migration.epoch-logged", report=report,
+                                epoch=payload["epoch"])
             if source.up_servers():
                 # Advisory copy on the old owner (flushed with its next
                 # group commit); recovery takes the max epoch anywhere.
@@ -772,14 +879,19 @@ class PartitionedCluster:
         return False
 
     def _force_log_epoch(self, database, payload):
-        """Generator: force the EPOCH record to stable storage (True on ok)."""
-        try:
-            database.wal.append_epoch(payload["epoch"], payload)
-            yield from database.wal.flush()
-        except Exception:
-            # The delegate crashed mid-flush; the record is not durable.
+        """Generator: force the EPOCH record to stable storage (True on ok).
+
+        Durability is judged by evidence
+        (:meth:`~repro.db.wal.WriteAheadLog.force`) — the record must be on
+        stable storage afterwards.  A delegate that crashed before or
+        during the flush (its volatile WAL tail dies with it) reads as
+        failure, so a migration can never install a map whose EPOCH record
+        only ever "flushed" on a dead server.
+        """
+        if database.wal.node.is_crashed:
             return False
-        return True
+        record = database.wal.append_epoch(payload["epoch"], payload)
+        return (yield from database.wal.force(record))
 
     # ------------------------------------------------------------------ reshaping
     def split_shard(self, shard, at: Optional[int] = None) -> int:
@@ -851,10 +963,15 @@ class PartitionedCluster:
     # ------------------------------------------------------------------ failures
     def crash_server(self, partition_id: int, server: str) -> None:
         """Crash one server of one partition's group."""
+        self.crash_log.append(CrashEvent(at=self.sim.now, kind="crash",
+                                         partition_id=partition_id,
+                                         server=server))
         self.groups[partition_id].crash_server(server)
 
     def crash_partition(self, partition_id: int) -> None:
         """Crash every server of one partition (shard-wide outage)."""
+        self.crash_log.append(CrashEvent(at=self.sim.now, kind="crash",
+                                         partition_id=partition_id))
         self.groups[partition_id].crash_all()
 
     def recover_server(self, partition_id: int, server: str) -> Process:
@@ -865,6 +982,9 @@ class PartitionedCluster:
         delegate), resolving in-doubt branches and finally answering the
         blocked clients.
         """
+        self.crash_log.append(CrashEvent(at=self.sim.now, kind="recover",
+                                         partition_id=partition_id,
+                                         server=server))
         group_recovery = self.groups[partition_id].recover_server(server)
 
         def recovery():

@@ -317,6 +317,8 @@ class CrossPartitionCoordinator:
         # would hang the client forever.  On timeout no branch has installed
         # anything yet, so aborting everywhere is safe.
         home = partitions[0]
+        self.cluster.fire_failpoint("2pc.prepared", xid=xid, home=home,
+                                    delegates=dict(delegates))
         home_node = self.cluster.group(home).node(delegates[home])
         home_db = self.cluster.group(home).database(delegates[home])
         self.active_installs[xid] = frozenset(
@@ -338,6 +340,8 @@ class CrossPartitionCoordinator:
         self.decided_pending[xid] = _PendingDecision(
             xid=xid, outcome=outcome, transactions=transactions,
             delegates=dict(delegates), response_event=response_event)
+        self.cluster.fire_failpoint("2pc.decided", xid=xid, home=home,
+                                    delegates=dict(delegates))
 
         # -- phase 2: make every write branch durable via its group ---------
         commit_procs = []
@@ -380,15 +384,18 @@ class CrossPartitionCoordinator:
         straggling decision record may still become durable later;
         :meth:`replay_decisions` reconciles it with the client-visible abort
         (counted as an orphan decision).
+
+        Success is judged by *evidence*, not by the flush returning
+        (:meth:`~repro.db.wal.WriteAheadLog.force`): the record must
+        actually be on stable storage afterwards.  A crash of the home
+        delegate between the votes and this flush (or mid-flush — the
+        volatile tail dies with the node) therefore reads as a failed
+        decision, never as a phantom forced write on a dead server.
         """
-        try:
-            home_db.wal.append_decision(xid)
-            yield from home_db.wal.flush()
-        except Exception:
-            # The home delegate crashed mid-flush with the request in
-            # service; the decision is not durable.
+        if home_db.wal.node.is_crashed:
             return False
-        return True
+        record = home_db.wal.append_decision(xid)
+        return (yield from home_db.wal.force(record))
 
     def _prepare(self, partition_id: int, delegate: str,
                  branch: TransactionProgram, xid: str):

@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 from ..replication.results import RunStatistics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
-    from .cluster import MigrationReport
+    from .cluster import CrashEvent, MigrationReport
     from .controller import ControllerStats
     from .workload import _PartitionedClientBase
 
@@ -63,6 +63,11 @@ class PartitionedRunStatistics:
     controller: Optional["ControllerStats"] = None
     #: Decay windows the routing table rolled during the run.
     windows_rolled: int = 0
+    #: Injected crash / recovery events, in simulation order (failure
+    #: experiments; empty for plain load runs).
+    injected_crashes: List["CrashEvent"] = field(default_factory=list)
+    #: Failpoint phases that fired during the run, with counts.
+    failpoints_fired: Dict[str, int] = field(default_factory=dict)
 
     # -- aggregates ---------------------------------------------------------------------
     @property
@@ -149,6 +154,8 @@ def collect_statistics(clients: "_PartitionedClientBase",
     if controller is not None:
         stats.controller = controller.stats
     stats.windows_rolled = getattr(cluster.routing, "windows_rolled", 0)
+    stats.injected_crashes = list(getattr(cluster, "crash_log", ()))
+    stats.failpoints_fired = dict(getattr(cluster, "failpoints_fired", {}))
     return stats
 
 
