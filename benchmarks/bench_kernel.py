@@ -1,0 +1,289 @@
+"""Wall-clock benchmark of the simulation kernel (the perf-trajectory file).
+
+Unlike the other benchmarks — which measure *simulated* quantities
+(throughput in committed transactions per simulated second, response times in
+simulated milliseconds) — this harness measures how fast the kernel pushes
+simulated events per **wall-clock** second.  Every experiment in the
+reproduction is gated by that number: the Fig. 9 sweep, the 45-cell
+partitioned failure matrix and the autobalance runs all spend their time in
+the event loop, so a 2x faster kernel means 2x the scenarios per CI minute.
+
+Three representative scenarios cover the three layers of the system:
+
+* ``one_shard_saturation`` — the paper's own Table 4 topology (9 servers,
+  group-safe) at a saturating open-loop load: atomic broadcast, WAL flushes,
+  buffer-pool traffic.
+* ``partitioned_zipf`` — 4 range-sharded groups under a Zipf-1.1 skew with
+  10 % cross-partition 2PC traffic: routing, classification and the
+  coordinator on top of the kernel.
+* ``autobalance_shift`` — the hotspot-shift experiment with the rebalance
+  controller live: migrations, fences and epoch bumps mid-run.
+
+Outputs:
+
+* ``BENCH_kernel.json`` (repo root in full mode, the report directory in
+  ``--smoke`` mode) — machine-readable before/after numbers future kernel
+  PRs regress against;
+* ``benchmarks/benchmark_reports/bench_kernel.txt`` — the human report.
+
+Regression gate: unless ``BENCH_KERNEL_SKIP_GATE=1`` (noisy runners) or
+``--no-gate`` is passed, the run fails if any scenario's events/sec drops
+more than ``BENCH_KERNEL_TOLERANCE`` (default 0.30) below the committed
+numbers.  Capture a new baseline on the *unoptimised* kernel with
+``--capture-baseline``; ordinary runs preserve the stored baseline and only
+refresh the ``current`` section.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.partition.cluster import PartitionedCluster  # noqa: E402
+from repro.partition.controller import RebalanceController  # noqa: E402
+from repro.partition.workload import PartitionedOpenLoopClients  # noqa: E402
+from repro.replication.cluster import ReplicatedDatabaseCluster  # noqa: E402
+from repro.workload.clients import OpenLoopClientPool  # noqa: E402
+from repro.workload.params import SimulationParameters  # noqa: E402
+
+DEFAULT_JSON = REPO_ROOT / "BENCH_kernel.json"
+REPORT_DIR = REPO_ROOT / "benchmarks" / "benchmark_reports"
+SMOKE_JSON = REPORT_DIR / "BENCH_kernel.json"
+DEFAULT_TOLERANCE = 0.30
+
+
+def _event_count(sim) -> int:
+    """Total events scheduled by ``sim`` (available on old and new kernels)."""
+    return getattr(sim, "scheduled_events", None) or sim._sequence
+
+
+def _summary(sim, commits: int, sim_ms: float, wall_s: float) -> Dict[str, float]:
+    events = _event_count(sim)
+    return {
+        "events": events,
+        "committed_txns": commits,
+        "simulated_ms": sim_ms,
+        "wall_seconds": round(wall_s, 3),
+        "events_per_sec": round(events / wall_s, 1) if wall_s > 0 else 0.0,
+        "commits_per_sec": round(commits / wall_s, 1) if wall_s > 0 else 0.0,
+    }
+
+
+# -- scenarios --------------------------------------------------------------------------
+
+
+def one_shard_saturation(smoke: bool) -> Dict[str, float]:
+    """Table 4 group-safe topology at a saturating open-loop load."""
+    duration_ms = 4_000.0 if smoke else 20_000.0
+    cluster = ReplicatedDatabaseCluster("group-safe",
+                                        params=SimulationParameters.paper(),
+                                        seed=11)
+    cluster.start()
+    clients = OpenLoopClientPool(cluster, load_tps=40.0, warmup=0.0)
+    clients.start()
+    started = time.perf_counter()
+    cluster.run(until=duration_ms)
+    wall = time.perf_counter() - started
+    return _summary(cluster.sim, len(clients.committed), duration_ms, wall)
+
+
+def partitioned_zipf(smoke: bool) -> Dict[str, float]:
+    """4 range shards, Zipf-1.1 skew, 10% cross-partition 2PC traffic."""
+    duration_ms = 3_000.0 if smoke else 12_000.0
+    params = SimulationParameters.small(server_count=3,
+                                        item_count=2_000).with_overrides(
+        partition_count=4, zipf_skew=1.1, cross_partition_probability=0.1)
+    cluster = PartitionedCluster("group-safe", params=params, seed=17,
+                                 strategy="range")
+    cluster.start()
+    clients = PartitionedOpenLoopClients(cluster, load_tps=300.0, warmup=0.0)
+    clients.start()
+    started = time.perf_counter()
+    cluster.run(until=duration_ms)
+    wall = time.perf_counter() - started
+    return _summary(cluster.sim, clients.committed_count, duration_ms, wall)
+
+
+def autobalance_shift(smoke: bool) -> Dict[str, float]:
+    """Hotspot shift repaired by the live rebalance controller."""
+    duration_ms = 8_000.0 if smoke else 17_000.0
+    shift_at_ms = duration_ms * 0.35
+    items = 240 if smoke else 400
+    params = SimulationParameters.small(server_count=3,
+                                        item_count=items).with_overrides(
+        partition_count=4, zipf_skew=1.1, cross_partition_probability=0.05)
+    cluster = PartitionedCluster("group-safe", params=params, seed=33,
+                                 strategy="range")
+    cluster.start()
+    controller = RebalanceController(cluster, window_ms=500.0,
+                                     share_threshold=0.45,
+                                     cooldown_windows=2, hysteresis_windows=4)
+    controller.start()
+    clients = PartitionedOpenLoopClients(cluster, load_tps=150.0,
+                                         warmup=0.0)
+    clients.start()
+    started = time.perf_counter()
+    cluster.run(until=shift_at_ms)
+    cluster.workload.shift_hotspot(items // 2)
+    cluster.run(until=duration_ms)
+    wall = time.perf_counter() - started
+    return _summary(cluster.sim, clients.committed_count, duration_ms, wall)
+
+
+SCENARIOS = {
+    "one_shard_saturation": one_shard_saturation,
+    "partitioned_zipf": partitioned_zipf,
+    "autobalance_shift": autobalance_shift,
+}
+
+
+# -- persistence and gating -------------------------------------------------------------
+
+
+def load_previous(path: Path) -> Dict[str, Dict]:
+    if not path.exists():
+        return {}
+    try:
+        return json.loads(path.read_text()).get("scenarios", {})
+    except (json.JSONDecodeError, OSError):
+        return {}
+
+
+def regression_failures(previous: Dict[str, Dict], fresh: Dict[str, Dict],
+                        tolerance: float) -> list:
+    """Scenarios whose fresh events/sec fell below the committed floor."""
+    failures = []
+    for name, run in fresh.items():
+        entry = previous.get(name, {})
+        reference = entry.get("current") or entry.get("baseline")
+        if not reference:
+            continue
+        floor = reference["events_per_sec"] * (1.0 - tolerance)
+        if run["events_per_sec"] < floor:
+            failures.append(
+                f"{name}: {run['events_per_sec']:.0f} events/s is more than "
+                f"{tolerance:.0%} below the committed "
+                f"{reference['events_per_sec']:.0f} events/s")
+    return failures
+
+
+def render_report(scenarios: Dict[str, Dict], mode: str) -> str:
+    lines = [
+        f"Simulation-kernel wall-clock benchmark ({mode} mode)",
+        "",
+        f"{'scenario':>22} | {'events/s':>12} | {'baseline':>12} | "
+        f"{'speedup':>8} | {'commits/s':>10} | {'sim ms':>8} | {'wall s':>7}",
+        "-" * 96,
+    ]
+    for name, entry in scenarios.items():
+        current = entry.get("current") or {}
+        baseline = entry.get("baseline") or {}
+        speedup = entry.get("speedup_events_per_sec")
+        lines.append(
+            f"{name:>22} | {current.get('events_per_sec', 0.0):>12,.0f} | "
+            f"{baseline.get('events_per_sec', 0.0):>12,.0f} | "
+            f"{(f'{speedup:.2f}x' if speedup else '—'):>8} | "
+            f"{current.get('commits_per_sec', 0.0):>10,.1f} | "
+            f"{current.get('simulated_ms', 0.0):>8,.0f} | "
+            f"{current.get('wall_seconds', 0.0):>7.2f}")
+    lines += [
+        "",
+        "events/s: simulated events scheduled per wall-clock second (the",
+        "kernel-speed headline).  baseline: the pre-optimisation kernel on",
+        "the same machine.  Kernel PRs must keep every scenario within the",
+        "regression tolerance of the committed numbers (BENCH_kernel.json).",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="short runs for CI; writes the JSON next to the "
+                             "reports instead of the repo root")
+    parser.add_argument("--capture-baseline", action="store_true",
+                        help="record this run as the pre-optimisation "
+                             "baseline (overwrites the stored baseline)")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="output path of the machine-readable results")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="wall-clock repeats per scenario in full mode; "
+                             "the best (least-interference) run is reported")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="skip the events/sec regression gate")
+    arguments = parser.parse_args(argv)
+
+    json_path = arguments.json or (SMOKE_JSON if arguments.smoke
+                                   else DEFAULT_JSON)
+    mode = "smoke" if arguments.smoke else "full"
+    committed = load_previous(DEFAULT_JSON)
+
+    repeats = 1 if arguments.smoke else arguments.repeats
+    fresh: Dict[str, Dict] = {}
+    for name, scenario in SCENARIOS.items():
+        print(f"running {name} ({mode}, best of {repeats})...", flush=True)
+        best: Optional[Dict] = None
+        for _attempt in range(repeats):
+            run = scenario(arguments.smoke)
+            if best is None or run["events_per_sec"] > best["events_per_sec"]:
+                best = run
+        fresh[name] = best
+        print(f"  {best['events_per_sec']:,.0f} events/s, "
+              f"{best['commits_per_sec']:.1f} commits/s "
+              f"({best['wall_seconds']:.2f}s wall)", flush=True)
+
+    scenarios: Dict[str, Dict] = {}
+    for name, run in fresh.items():
+        if arguments.capture_baseline:
+            scenarios[name] = {"baseline": run, "current": None,
+                               "speedup_events_per_sec": None}
+            continue
+        baseline = committed.get(name, {}).get("baseline")
+        speedup = (round(run["events_per_sec"] / baseline["events_per_sec"], 2)
+                   if baseline and baseline["events_per_sec"] else None)
+        scenarios[name] = {"baseline": baseline, "current": run,
+                           "speedup_events_per_sec": speedup}
+
+    payload = {
+        "schema": 1,
+        "mode": mode,
+        "note": "events/s are wall-clock rates; baseline is the "
+                "pre-optimisation kernel on the same machine",
+        "scenarios": scenarios,
+    }
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+    report = render_report(scenarios, mode)
+    print()
+    print(report)
+    REPORT_DIR.mkdir(parents=True, exist_ok=True)
+    report_name = ("bench_kernel_smoke.txt" if arguments.smoke
+                   else "bench_kernel.txt")
+    (REPORT_DIR / report_name).write_text(report + "\n", encoding="utf-8")
+    print(f"\nwrote {json_path}")
+
+    gate_disabled = (arguments.no_gate or arguments.capture_baseline
+                     or os.environ.get("BENCH_KERNEL_SKIP_GATE") == "1")
+    if not gate_disabled:
+        tolerance = float(os.environ.get("BENCH_KERNEL_TOLERANCE",
+                                         DEFAULT_TOLERANCE))
+        failures = regression_failures(committed, fresh, tolerance)
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        if failures:
+            print("(set BENCH_KERNEL_SKIP_GATE=1 to override on noisy "
+                  "runners)")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,7 @@ from typing import Dict, Optional
 
 from ..network.node import Node
 from ..sim.engine import Simulator
+from ..sim.events import Timeout
 from ..sim.resources import Gate
 
 
@@ -73,6 +74,12 @@ class BufferPool:
         # the drain order is independent of string hashing (a plain set
         # would make runs depend on PYTHONHASHSEED).
         self._dirty: Dict[str, None] = {}
+        # Interned per-node stream handles (seeded by name only, so hoisting
+        # them out of the per-I/O hot path is draw-exact).
+        streams = sim.random
+        self._hit_stream = streams.stream(f"{node.name}.buffer_hit")
+        self._read_stream = streams.stream(f"{node.name}.disk_read")
+        self._write_stream = streams.stream(f"{node.name}.disk_write")
         self._flusher_running = False
         self._space_gate = Gate(sim, opened=True, name=f"{name}.space")
         #: Statistics counters.
@@ -85,38 +92,77 @@ class BufferPool:
 
     # -- timing helpers ---------------------------------------------------------
     def _is_hit(self) -> bool:
-        return self.sim.random.bernoulli(f"{self.node.name}.buffer_hit",
-                                         self.hit_ratio)
+        return self._hit_stream.random() < self.hit_ratio
 
     def _read_duration(self) -> float:
-        return self.sim.random.uniform(f"{self.node.name}.disk_read",
-                                       self.read_time_low, self.read_time_high)
+        return self._read_stream.uniform(self.read_time_low,
+                                         self.read_time_high)
 
     def _write_duration(self) -> float:
-        return self.sim.random.uniform(f"{self.node.name}.disk_write",
-                                       self.write_time_low, self.write_time_high)
+        return self._write_stream.uniform(self.write_time_low,
+                                          self.write_time_high)
 
     # -- reads ----------------------------------------------------------------------
+    # The read/write generators below write ``cpu.use(...)`` / ``disk.use``
+    # out inline (identical event schedule) — one generator object less per
+    # I/O on the single hottest charge path of the database model.
     def read_item(self, key: str):
-        """Generator: charge the cost of reading ``key``."""
-        yield from self.node.use_cpu(self.node.cpu_time_per_io)
-        if self._is_hit():
+        """Generator: charge the cost of reading ``key``.
+
+        ``LocalDatabase.read`` inlines this exact sequence on the
+        transaction hot path; a change here must be mirrored there
+        (``test_engine_read_matches_buffer_read_item`` pins the pair).
+        """
+        node = self.node
+        cpu = node.cpu
+        sim = self.sim
+        request = cpu.request()
+        yield request
+        try:
+            yield Timeout(sim, node.cpu_time_per_io)
+        finally:
+            cpu.release(request)
+        if self._hit_stream.random() < self.hit_ratio:
             self.read_hits += 1
             return
         self.read_misses += 1
-        yield from self.node.use_disk(self._read_duration())
+        disk = node.disk
+        duration = self._read_stream.uniform(self.read_time_low,
+                                             self.read_time_high)
+        request = disk.request()
+        yield request
+        try:
+            yield Timeout(sim, duration)
+        finally:
+            disk.release(request)
 
     # -- writes ----------------------------------------------------------------------
     def write_item_sync(self, key: str):
         """Generator: charge the cost of writing ``key`` inside the transaction."""
         self.sync_writes += 1
-        yield from self.node.use_cpu(self.node.cpu_time_per_io)
-        if self._is_hit():
+        node = self.node
+        cpu = node.cpu
+        sim = self.sim
+        request = cpu.request()
+        yield request
+        try:
+            yield Timeout(sim, node.cpu_time_per_io)
+        finally:
+            cpu.release(request)
+        if self._hit_stream.random() < self.hit_ratio:
             # The page is resident: the modification stays in the buffer and
             # will reach disk with a later flush, off the critical path.
             self._mark_dirty(key)
             return
-        yield from self.node.use_disk(self._write_duration())
+        disk = node.disk
+        duration = self._write_stream.uniform(self.write_time_low,
+                                              self.write_time_high)
+        request = disk.request()
+        yield request
+        try:
+            yield Timeout(sim, duration)
+        finally:
+            disk.release(request)
 
     def write_item_async(self, key: str) -> None:
         """Mark ``key`` dirty; the physical write happens in the background."""
@@ -155,12 +201,27 @@ class BufferPool:
     def flush_some(self, max_items: Optional[int] = None):
         """Generator: physically write up to ``max_items`` dirty items."""
         written = 0
-        while self._dirty and (max_items is None or written < max_items):
-            key = next(iter(self._dirty))
-            self._dirty.pop(key, None)
-            yield from self.node.use_cpu(self.node.cpu_time_per_io)
-            yield from self.node.use_disk(self.background_write_factor *
-                                          self._write_duration())
+        node = self.node
+        cpu = node.cpu
+        disk = node.disk
+        sim = self.sim
+        dirty = self._dirty
+        while dirty and (max_items is None or written < max_items):
+            key = next(iter(dirty))
+            dirty.pop(key, None)
+            request = cpu.request()
+            yield request
+            try:
+                yield Timeout(sim, node.cpu_time_per_io)
+            finally:
+                cpu.release(request)
+            duration = self.background_write_factor * self._write_duration()
+            request = disk.request()
+            yield request
+            try:
+                yield Timeout(sim, duration)
+            finally:
+                disk.release(request)
             self.flushed_pages += 1
             written += 1
             self._maybe_reopen()

@@ -68,6 +68,10 @@ class ItemStore:
 
     def __init__(self, item_count: int = 0, prefix: str = "item") -> None:
         self._items: Dict[str, Item] = {}
+        #: Bound ``dict.get`` over the item map — the hot lookup handle for
+        #: per-operation access (returns None for unknown keys).  The dict is
+        #: only ever mutated in place, so the binding stays valid.
+        self.lookup = self._items.get
         self.prefix = prefix
         for index in range(item_count):
             self.create(f"{prefix}-{index}")

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 
 from ..network.node import Node
 from ..sim.engine import Simulator
+from ..sim.events import Timeout
 from ..sim.resources import Gate
 from .stable_storage import StableLog
 
@@ -74,6 +75,7 @@ class WriteAheadLog:
         self.name = name
         self.write_time_low = write_time_low
         self.write_time_high = write_time_high
+        self._log_write_stream = sim.random.stream(f"{node.name}.log_write")
         self._volatile: List[LogRecord] = []
         self._stable: StableLog = node.register_stable(
             f"{name}.stable", StableLog(f"{node.name}.{name}"))
@@ -113,8 +115,8 @@ class WriteAheadLog:
 
     # -- flush ------------------------------------------------------------------
     def _flush_duration(self) -> float:
-        return self.sim.random.uniform(f"{self.node.name}.log_write",
-                                       self.write_time_low, self.write_time_high)
+        return self._log_write_stream.uniform(self.write_time_low,
+                                              self.write_time_high)
 
     def flush(self):
         """Generator: force the volatile tail to stable storage.
@@ -125,8 +127,25 @@ class WriteAheadLog:
         """
         if not self._volatile:
             return
-        yield from self.node.use_cpu(self.node.cpu_time_per_io)
-        yield from self.node.use_disk(self._flush_duration())
+        # Inline cpu.use / disk.use (identical event schedule): one flush per
+        # group commit makes this the hottest disk path of every technique.
+        node = self.node
+        cpu = node.cpu
+        sim = self.sim
+        request = cpu.request()
+        yield request
+        try:
+            yield Timeout(sim, node.cpu_time_per_io)
+        finally:
+            cpu.release(request)
+        duration = self._flush_duration()
+        disk = node.disk
+        request = disk.request()
+        yield request
+        try:
+            yield Timeout(sim, duration)
+        finally:
+            disk.release(request)
         self.flush_count += 1
         flushed, self._volatile = self._volatile, []
         for record in flushed:

@@ -38,6 +38,7 @@ from ..network.lan import Lan
 from ..network.message import Message
 from ..network.node import Node
 from ..sim.engine import Simulator
+from ..sim.events import Timeout
 from ..sim.resources import Store
 from .membership import GroupMembership, View
 from .spec import BroadcastTrace, DeliveryRecord
@@ -198,10 +199,22 @@ class AtomicBroadcastEndpoint:
             self._post(kind, member, payload)
 
     def _sender_loop(self):
+        # Hot loop: inline ``cpu.use(...)`` (identical event schedule) to
+        # spare a generator object per protocol message.
+        outbox_get = self._outbox.get
+        cpu = self.node.cpu
+        cpu_cost = self.node.cpu_time_per_network_op
+        sim = self.sim
+        send = self.lan.send
         while True:
-            message = yield self._outbox.get()
-            yield from self.node.charge_network_cpu()
-            self.lan.send(message)
+            message = yield outbox_get()
+            request = cpu.request()
+            yield request
+            try:
+                yield Timeout(sim, cpu_cost)
+            finally:
+                cpu.release(request)
+            send(message)
 
     # ------------------------------------------------------------------ handlers
     def _on_data(self, message: Message) -> None:

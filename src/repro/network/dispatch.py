@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional
 
 from ..sim.engine import Simulator
+from ..sim.events import Timeout
 from .message import Message
 from .node import Node
 
@@ -65,13 +66,24 @@ class Dispatcher:
         self.node.spawn(self._loop(), name="dispatcher")
 
     def _loop(self):
+        # Hot loop: the CPU charge is ``cpu.use(...)`` written out inline
+        # (identical event schedule) to spare a generator object per message.
+        inbox_get = self.node.inbox.get
+        cpu = self.node.cpu
+        cpu_cost = self.node.cpu_time_per_network_op
+        sim = self.sim
+        handlers = self._handlers
         try:
             while True:
-                message = yield self.node.inbox.get()
-                yield from self.node.charge_network_cpu()
+                message = yield inbox_get()
+                request = cpu.request()
+                yield request
+                try:
+                    yield Timeout(sim, cpu_cost)
+                finally:
+                    cpu.release(request)
                 self.dispatched_count += 1
-                handler = self._handlers.get(message.kind,
-                                             self._default_handler)
+                handler = handlers.get(message.kind, self._default_handler)
                 if handler is None:
                     self.unhandled_count += 1
                     continue

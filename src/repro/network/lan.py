@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..sim.engine import Simulator
+from ..sim.events import Deferred
 from .message import Message
 from .node import Node
 
@@ -32,6 +33,7 @@ class Lan:
         self.sim = sim
         self.latency = latency
         self.jitter = jitter
+        self._jitter_stream = sim.random.stream("lan.jitter") if jitter else None
         self._nodes: Dict[str, Node] = {}
         self._blocked_pairs: Set[Tuple[str, str]] = set()
         #: Count of messages handed to the network (before drops).
@@ -82,7 +84,7 @@ class Lan:
     def _delivery_delay(self) -> float:
         delay = self.latency
         if self.jitter:
-            delay += self.sim.random.uniform("lan.jitter", 0.0, self.jitter)
+            delay += self.jitter * self._jitter_stream.random()
         return delay
 
     def send(self, message: Message) -> None:
@@ -90,20 +92,29 @@ class Lan:
 
         The message is silently dropped if the destination is unknown,
         crashed, or partitioned away — exactly what a datagram network does.
+        Sending stamps :attr:`~repro.network.message.Message.sent_at` on the
+        message itself (no per-send envelope copy; callers hand over fresh
+        envelopes, and a re-sent message is simply re-stamped).
         """
         self.sent_count += 1
         destination = self._nodes.get(message.destination)
         if destination is None:
             self.dropped_count += 1
             return
-        if self.is_blocked(message.sender, message.destination):
+        if self._blocked_pairs and \
+                (message.sender, message.destination) in self._blocked_pairs:
             self.dropped_count += 1
             return
-        stamped = Message(sender=message.sender, destination=message.destination,
-                          kind=message.kind, payload=message.payload,
-                          message_id=message.message_id, sent_at=self.sim.now)
-        self.sim.call_after(self._delivery_delay(),
-                            lambda: self._deliver(stamped, destination))
+        if message.sent_at is not None:
+            # Re-send of an already-stamped envelope (retransmission): copy
+            # it so the earlier in-flight delivery keeps its own timestamp.
+            message = Message(sender=message.sender,
+                              destination=message.destination,
+                              kind=message.kind, payload=message.payload,
+                              message_id=message.message_id)
+        object.__setattr__(message, "sent_at", self.sim.now)
+        Deferred(self.sim, self._delivery_delay(), self._deliver,
+                 (message, destination))
 
     def broadcast(self, message: Message,
                   destinations: Optional[Iterable[str]] = None) -> None:
@@ -117,11 +128,12 @@ class Lan:
             self.send(message.with_destination(name))
 
     def _deliver(self, message: Message, destination: Node) -> None:
-        if destination.is_crashed:
+        if destination._crashed:
             # The destination crashed while the message was in flight.
             self.dropped_count += 1
             return
-        if self.is_blocked(message.sender, message.destination):
+        if self._blocked_pairs and \
+                (message.sender, message.destination) in self._blocked_pairs:
             self.dropped_count += 1
             return
         self.delivered_count += 1

@@ -1,10 +1,13 @@
 """Network message representation.
 
-Messages are small immutable envelopes: a sender, a destination, a ``kind``
+Messages are small, frozen envelopes: a sender, a destination, a ``kind``
 tag used by protocol dispatch, and an arbitrary payload.  A process-wide
 monotonically increasing identifier makes every message distinguishable, which
 the group-communication layer relies on for duplicate suppression and
-acknowledgement bookkeeping.
+acknowledgement bookkeeping.  The one exception to immutability is
+``sent_at``: the LAN stamps it in place when the message enters the network
+(sparing a copy per send on the hot path), so it is excluded from
+equality and hashing.
 """
 
 from __future__ import annotations
@@ -21,7 +24,7 @@ def next_message_id() -> int:
     return next(_message_ids)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """An envelope travelling on the simulated LAN.
 
@@ -48,7 +51,11 @@ class Message:
     kind: str
     payload: Any = None
     message_id: int = field(default_factory=next_message_id)
-    sent_at: Optional[float] = None
+    #: Stamped in place by :meth:`repro.network.lan.Lan.send` (the one
+    #: sanctioned mutation of the otherwise-frozen envelope), so it is
+    #: excluded from equality/hashing — a stored message must not change
+    #: identity when it is sent.
+    sent_at: Optional[float] = field(default=None, compare=False)
 
     def with_destination(self, destination: str) -> "Message":
         """Return a copy of this message addressed to ``destination``.

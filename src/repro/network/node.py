@@ -44,6 +44,7 @@ class Node:
         self.inbox = Store(sim, name=f"{name}.inbox")
         self._crashed = False
         self._processes: List[Process] = []
+        self._prune_at = 64
         self._stable: Dict[str, Any] = {}
         self._listeners: List[NodeListener] = []
         #: Number of times this node has crashed (incarnation counter).
@@ -79,8 +80,11 @@ class Node:
         return process
 
     def _prune_finished(self) -> None:
-        if len(self._processes) > 64:
+        # Doubling threshold: pruning on a fixed bound made every spawn scan
+        # the whole registry once more than ~64 processes stayed alive.
+        if len(self._processes) > self._prune_at:
             self._processes = [p for p in self._processes if p.is_alive]
+            self._prune_at = max(64, 2 * len(self._processes))
 
     # -- stable storage registry -------------------------------------------------
     def register_stable(self, key: str, obj: Any) -> Any:
@@ -97,17 +101,21 @@ class Node:
         return list(self._stable)
 
     # -- CPU / disk helpers --------------------------------------------------------
+    # These return the resource's ``use`` generator directly instead of
+    # delegating through a wrapper generator: a ``yield from`` pass-through
+    # frame costs an allocation per call and a hop per resume, and these are
+    # called for every I/O and network operation of every server.
     def use_cpu(self, duration: float):
         """Generator: occupy one CPU of the node for ``duration`` ms."""
-        yield from self.cpu.use(duration)
+        return self.cpu.use(duration)
 
     def use_disk(self, duration: float):
         """Generator: occupy one disk of the node for ``duration`` ms."""
-        yield from self.disk.use(duration)
+        return self.disk.use(duration)
 
     def charge_network_cpu(self):
         """Generator: charge the CPU cost of one network operation."""
-        yield from self.cpu.use(self.cpu_time_per_network_op)
+        return self.cpu.use(self.cpu_time_per_network_op)
 
     # -- crash / recovery ------------------------------------------------------------
     def add_listener(self, listener: NodeListener) -> None:
@@ -129,6 +137,7 @@ class Node:
         for process in self._processes:
             process.kill(cause=f"{self.name}:{cause}")
         self._processes.clear()
+        self._prune_at = 64
         self.inbox.clear()
         self.cpu.cancel_all()
         self.disk.cancel_all()

@@ -244,6 +244,10 @@ class PartitionedCluster:
         #: already in flight on its source group, not just future ones.
         self._inflight_by_group: Dict[int, List] = {
             partition_id: [] for partition_id in range(self.partition_count)}
+        #: Per-group compaction thresholds for the in-flight lists (doubled
+        #: after each compaction so the scan stays amortised O(1) per submit).
+        self._inflight_compact_at: Dict[int, int] = {
+            partition_id: 128 for partition_id in range(self.partition_count)}
         #: One report per migration ever started, in start order.
         self.migration_reports: List[MigrationReport] = []
         #: Transaction ids of internal migration work (copy chunks and
@@ -425,10 +429,11 @@ class PartitionedCluster:
                 epoch_seen=self.routing.epoch, epoch_now=self.routing.epoch)
         self.routing.note_keys(keys)
         snapshot = self.router.snapshot()
-        partitions = self.router.classify(program, snapshot=snapshot)
+        partitions = self.router.classify(program, snapshot=snapshot,
+                                          keys=keys)
         if len(partitions) == 1:
             group = self.groups[partitions[0]]
-            if not group.up_servers():
+            if not any(node.is_up for node in group.nodes.values()):
                 raise RuntimeError(
                     f"partition {partitions[0]} has no live servers")
             return self.submit_to_group(partitions[0], program,
@@ -449,9 +454,16 @@ class PartitionedCluster:
         event = self.groups[partition_id].submit(program, server=server,
                                                  client_index=client_index)
         inflight = self._inflight_by_group[partition_id]
-        inflight[:] = [(pending_event, pending_program)
-                       for pending_event, pending_program in inflight
-                       if not pending_event.triggered]
+        if len(inflight) >= self._inflight_compact_at[partition_id]:
+            # Amortised compaction: readers filter by ``triggered`` anyway,
+            # so stale entries are harmless — compacting on every submit made
+            # the fast path O(in-flight transactions) per submission.  The
+            # doubling threshold keeps the scan O(1) amortised even when an
+            # overloaded open loop grows the genuinely-in-flight population.
+            inflight[:] = [pending for pending in inflight
+                           if not pending[0].triggered]
+            self._inflight_compact_at[partition_id] = max(
+                128, 2 * len(inflight))
         inflight.append((event, program))
         if self._migrations:
             self._register_dual_writes(partition_id, program, event)

@@ -58,11 +58,17 @@ class TransactionRouter:
 
     # -- classification ---------------------------------------------------------------
     def partitions_of(self, program: TransactionProgram,
-                      snapshot=None) -> List[int]:
-        """Sorted ids of every group touched by ``program``."""
+                      snapshot=None, keys=None) -> List[int]:
+        """Sorted ids of every group touched by ``program``.
+
+        ``keys`` lets a caller that already materialised the program's key
+        list (the cluster submit path does, for the fence check) avoid a
+        second pass over the operations.
+        """
         view = snapshot if snapshot is not None else self.snapshot()
         return view.partitions_of(
-            operation.key for operation in program.operations)
+            keys if keys is not None else
+            (operation.key for operation in program.operations))
 
     def is_single_partition(self, program: TransactionProgram,
                             snapshot=None) -> bool:
@@ -70,9 +76,9 @@ class TransactionRouter:
         return len(self.partitions_of(program, snapshot=snapshot)) == 1
 
     def classify(self, program: TransactionProgram,
-                 snapshot=None) -> List[int]:
+                 snapshot=None, keys=None) -> List[int]:
         """Like :meth:`partitions_of`, but also updates the routing counters."""
-        partitions = self.partitions_of(program, snapshot=snapshot)
+        partitions = self.partitions_of(program, snapshot=snapshot, keys=keys)
         if len(partitions) == 1:
             self.single_partition_count += 1
         else:

@@ -51,6 +51,14 @@ from ..db.wal import LogRecord, LogRecordType
 #: :func:`repro.partition.partitioner.make_partitioner` compatibility shim).
 STRATEGIES = ("hash", "range")
 
+#: Entry cap shared by the routing memo caches (key -> position / group /
+#: shard).  Far above any configured item count, so in practice the caches
+#: never evict; the cap only guards pathological keyspaces from growing a
+#: per-key dict without bound (the same concern ``max_tracked_positions``
+#: addresses for the access counters).  Eviction is a wholesale clear — the
+#: caches rebuild in O(1) amortised per lookup.
+MEMO_CACHE_LIMIT = 1 << 16
+
 
 class WrongEpochError(RuntimeError):
     """A transaction was routed against a stale or fenced ownership map.
@@ -135,7 +143,8 @@ class RoutingSnapshot:
     """
 
     def __init__(self, epoch: int, assignments: Sequence[ShardAssignment],
-                 slots: int, strategy: str, group_count: int) -> None:
+                 slots: int, strategy: str, group_count: int,
+                 position_cache: Optional[Dict[str, int]] = None) -> None:
         self.epoch = epoch
         self.assignments: Tuple[ShardAssignment, ...] = tuple(assignments)
         self.slots = slots
@@ -145,11 +154,25 @@ class RoutingSnapshot:
         self.partition_count = group_count
         self._bounds = [assignment.key_range.lo
                         for assignment in self.assignments]
+        #: key -> position memo.  Positions depend only on (slots, strategy),
+        #: so a :class:`RoutingTable` shares one cache across all its
+        #: snapshots; a standalone snapshot gets its own.
+        self._position_cache: Dict[str, int] = (
+            {} if position_cache is None else position_cache)
+        #: key -> owning-group memo, valid for this epoch only (per snapshot).
+        self._group_cache: Dict[str, int] = {}
 
     # -- lookups ------------------------------------------------------------------------
     def position_of(self, key: str) -> int:
-        """The routing position of ``key``."""
-        return position_of_key(key, self.slots, self.strategy)
+        """The routing position of ``key`` (memoized: keys never re-hash)."""
+        cache = self._position_cache
+        position = cache.get(key)
+        if position is None:
+            if len(cache) >= MEMO_CACHE_LIMIT:
+                cache.clear()
+            position = cache[key] = position_of_key(key, self.slots,
+                                                    self.strategy)
+        return position
 
     def shard_index_of(self, key: str) -> int:
         """Index (into :attr:`assignments`) of the shard owning ``key``."""
@@ -160,18 +183,53 @@ class RoutingSnapshot:
         return self.assignments[self.shard_index_of(key)]
 
     def partition_of(self, key: str) -> int:
-        """Id of the replica group owning ``key``."""
-        return self.shard_of(key).group_id
+        """Id of the replica group owning ``key`` (memoized per snapshot)."""
+        cache = self._group_cache
+        group_id = cache.get(key)
+        if group_id is None:
+            if len(cache) >= MEMO_CACHE_LIMIT:
+                cache.clear()
+            group_id = cache[key] = self.assignments[
+                bisect_right(self._bounds, self.position_of(key)) - 1].group_id
+        return group_id
 
     def partitions_of(self, keys: Iterable[str]) -> List[int]:
-        """Sorted ids of all groups touched by ``keys``."""
-        return sorted({self.partition_of(key) for key in keys})
+        """Sorted ids of all groups touched by ``keys``.
+
+        The dominant caller is transaction classification, where almost
+        every program touches exactly one group — that case allocates one
+        single-element list and never sorts.
+        """
+        partition_of = self.partition_of
+        first: Optional[int] = None
+        extra = None
+        for key in keys:
+            group_id = partition_of(key)
+            if group_id == first:
+                continue
+            if first is None:
+                first = group_id
+            elif extra is None:
+                extra = {first, group_id}
+            else:
+                extra.add(group_id)
+        if first is None:
+            return []
+        if extra is None:
+            return [first]
+        return sorted(extra)
 
     def partition_keys(self, keys: Iterable[str]) -> Dict[int, List[str]]:
         """Group ``keys`` by owning group, preserving order within each."""
+        partition_of = self.partition_of
         grouped: Dict[int, List[str]] = {}
         for key in keys:
-            grouped.setdefault(self.partition_of(key), []).append(key)
+            group_id = partition_of(key)
+            bucket = grouped.get(group_id)
+            if bucket is None:
+                grouped[group_id] = [key]
+            else:
+                bucket.append(key)
         return grouped
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
@@ -213,6 +271,10 @@ class RoutingTable:
         self._validate_cover()
         self._epoch = epoch
         self._snapshot: Optional[RoutingSnapshot] = None
+        #: key -> position memo shared with every snapshot of this table
+        #: (positions depend only on the fixed slots/strategy pair, so the
+        #: memo survives epoch bumps).
+        self._position_cache: Dict[str, int] = {}
         #: Ranges currently write-fenced by a live migration.
         self._fenced: List[KeyRange] = []
         #: Per-position access counters feeding the skew-aware split points.
@@ -340,13 +402,20 @@ class RoutingTable:
         if self._snapshot is None or self._snapshot.epoch != self._epoch:
             self._snapshot = RoutingSnapshot(
                 self._epoch, self._assignments, self.slots, self.strategy,
-                self.group_count)
+                self.group_count, position_cache=self._position_cache)
         return self._snapshot
 
     # -- Partitioner protocol (delegates to the current snapshot) -----------------------
     def position_of(self, key: str) -> int:
-        """The routing position of ``key``."""
-        return position_of_key(key, self.slots, self.strategy)
+        """The routing position of ``key`` (memoized; see the snapshot)."""
+        cache = self._position_cache
+        position = cache.get(key)
+        if position is None:
+            if len(cache) >= MEMO_CACHE_LIMIT:
+                cache.clear()
+            position = cache[key] = position_of_key(key, self.slots,
+                                                    self.strategy)
+        return position
 
     def partition_of(self, key: str) -> int:
         """Id of the replica group currently owning ``key``."""
@@ -523,23 +592,35 @@ class RoutingTable:
         for position, count in self.access_counts.items():
             totals[bisect_right(self._bounds, position) - 1] += count
         self._shard_totals = totals
+        #: key -> (position, shard index) memo for :meth:`note_access`,
+        #: valid until the shard list changes again.
+        self._note_cache: Dict[str, Tuple[int, int]] = {}
 
     def note_access(self, key: str) -> None:
         """Record one access to ``key`` for load accounting."""
-        position = self.position_of(key)
-        count = self.access_counts.get(position)
+        entry = self._note_cache.get(key)
+        if entry is None:
+            if len(self._note_cache) >= MEMO_CACHE_LIMIT:
+                self._note_cache.clear()
+            position = self.position_of(key)
+            entry = (position, bisect_right(self._bounds, position) - 1)
+            self._note_cache[key] = entry
+        position, shard_index = entry
+        counts = self.access_counts
+        count = counts.get(position)
         if count is None:
-            if len(self.access_counts) >= self.max_tracked_positions:
+            if len(counts) >= self.max_tracked_positions:
                 self._compact_access_counts()
-            self.access_counts[position] = 1
+            counts[position] = 1
         else:
-            self.access_counts[position] = count + 1
-        self._shard_totals[bisect_right(self._bounds, position) - 1] += 1
+            counts[position] = count + 1
+        self._shard_totals[shard_index] += 1
 
     def note_keys(self, keys: Iterable[str]) -> None:
         """Record one access per key of ``keys``."""
+        note_access = self.note_access
         for key in keys:
-            self.note_access(key)
+            note_access(key)
 
     def _compact_access_counts(self) -> None:
         """Fold the coldest tracked positions into their shard's lo position.

@@ -42,7 +42,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 from ..db.operations import Operation, OperationType, TransactionProgram
 from ..replication.results import TransactionResult
 from ..sim.engine import Simulator
-from ..workload.generator import WorkloadGenerator
+from ..workload.generator import AliasSampler, WorkloadGenerator
 from ..workload.params import SimulationParameters
 from .coordinator import CrossPartitionOutcome
 
@@ -64,6 +64,15 @@ class PartitionedWorkloadGenerator(WorkloadGenerator):
         self.routing = routing
         if not 0.0 <= params.cross_partition_probability <= 1.0:
             raise ValueError("cross-partition probability out of range")
+        # Interned stream handles for the partition-specific draws (the base
+        # class hoists the item/length/write/arrival streams).
+        streams = sim.random
+        self._xpartition_stream = streams.stream(
+            f"{stream_prefix}.xpartition")
+        self._members_stream = streams.stream(
+            f"{stream_prefix}.xpartition.members")
+        self._op_partition_stream = streams.stream(
+            f"{stream_prefix}.op_partition")
         self._global_rank = {key: index for index, key in
                              enumerate(self.item_keys)} if self.skew > 0 \
             else {}
@@ -104,6 +113,7 @@ class PartitionedWorkloadGenerator(WorkloadGenerator):
         # keeps the weight of its *global* rank, so restricting a transaction
         # to one partition preserves the shape of the hot set.
         self._cumulative_by_partition: Dict[int, List[float]] = {}
+        self._alias_by_partition: Dict[int, AliasSampler] = {}
         if self.skew > 0:
             for partition_id, keys in self._keys_by_partition.items():
                 total = 0.0
@@ -112,6 +122,9 @@ class PartitionedWorkloadGenerator(WorkloadGenerator):
                     total += (self._global_rank[key] + 1) ** -self.skew
                     cumulative.append(total)
                 self._cumulative_by_partition[partition_id] = cumulative
+                if self.alias_sampling:
+                    self._alias_by_partition[partition_id] = \
+                        AliasSampler.from_cumulative(cumulative)
 
     def _refresh_if_stale(self) -> None:
         epoch = getattr(self.routing, "epoch", 0)
@@ -143,6 +156,8 @@ class PartitionedWorkloadGenerator(WorkloadGenerator):
             total += (self._global_rank[key] + 1) ** -self.skew
             cumulative.append(total)
         self._cumulative = cumulative
+        if self.alias_sampling:
+            self._alias = AliasSampler.from_cumulative(cumulative)
         self._refresh_partition_caches(strict=False)
 
     # -- generation ----------------------------------------------------------------------
@@ -161,48 +176,48 @@ class PartitionedWorkloadGenerator(WorkloadGenerator):
         the rest across the involved set.
         """
         self._refresh_if_stale()
-        length = self.sim.random.randint(
-            f"{self.stream_prefix}.length",
+        length = self._length_stream.randint(
             self.params.transaction_length_min,
             self.params.transaction_length_max)
         span = min(self.params.cross_partition_span,
                    len(self._nonempty_partitions), length)
-        cross = span >= 2 and self.sim.random.bernoulli(
-            f"{self.stream_prefix}.xpartition",
-            self.params.cross_partition_probability)
+        cross = span >= 2 and (self._xpartition_stream.random() <
+                               self.params.cross_partition_probability)
         first_key: Optional[str] = None
         if cross:
             self.cross_partition_generated += 1
-            partition_ids = self.sim.random.sample(
-                f"{self.stream_prefix}.xpartition.members",
+            partition_ids = self._members_stream.sample(
                 self._nonempty_partitions, span)
         else:
             self.single_partition_generated += 1
             first_key = self.choose_key()
             partition_ids = [self.routing.partition_of(first_key)]
 
+        pinned = len(partition_ids)
+        write_random = self._write_stream.random
+        write_probability = self.params.write_probability
         operations: List[Operation] = []
+        append = operations.append
         for position in range(length):
             if first_key is not None and position == 0:
                 key = first_key
             else:
-                if position < len(partition_ids):
+                if position < pinned:
                     # Pinned: one operation per involved partition guarantees
                     # the program genuinely spans all of them.
                     partition_id = partition_ids[position]
                 else:
-                    partition_id = self.sim.random.choice(
-                        f"{self.stream_prefix}.op_partition", partition_ids)
+                    partition_id = self._op_partition_stream.choice(
+                        partition_ids)
                 key = self.choose_key(
                     keys=self._keys_by_partition[partition_id],
-                    cumulative=self._cumulative_by_partition.get(partition_id))
-            is_write = self.sim.random.bernoulli(
-                f"{self.stream_prefix}.write", self.params.write_probability)
-            if is_write:
-                operations.append(Operation(OperationType.WRITE, key,
-                                            value=f"{client}@{position}"))
+                    cumulative=self._cumulative_by_partition.get(partition_id),
+                    alias=self._alias_by_partition.get(partition_id))
+            if write_random() < write_probability:
+                append(Operation(OperationType.WRITE, key,
+                                 value=f"{client}@{position}"))
             else:
-                operations.append(Operation(OperationType.READ, key))
+                append(Operation(OperationType.READ, key))
         self.generated_count += 1
         return TransactionProgram(operations=tuple(operations), client=client)
 
@@ -347,9 +362,9 @@ class PartitionedClosedLoopClients(_PartitionedClientBase):
                 client_index += 1
 
     def _client_loop(self, client_name: str, client_index: int):
+        think_stream = self.sim.random.stream(f"clients.{client_name}.think")
+        think_rate = 1.0 / self.think_time_mean
         while True:
-            think = self.sim.random.expovariate(
-                f"clients.{client_name}.think", 1.0 / self.think_time_mean)
-            yield self.sim.timeout(think)
+            yield self.sim.timeout(think_stream.expovariate(think_rate))
             program = self.workload.next_program(client=client_name)
             yield from self._run_one(program, client_index)

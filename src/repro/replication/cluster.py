@@ -174,8 +174,7 @@ class ReplicatedDatabaseCluster:
     # ------------------------------------------------------------------ submission
     def choose_delegate(self, client_index: int = 0) -> str:
         """Pick a delegate server for a client according to the routing policy."""
-        up_servers = [name for name in self.server_names()
-                      if self.nodes[name].is_up]
+        up_servers = [name for name, node in self.nodes.items() if node.is_up]
         return self.routing.choose(up_servers, client_index)
 
     def submit(self, program: TransactionProgram,

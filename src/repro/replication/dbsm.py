@@ -35,6 +35,7 @@ from enum import Enum
 from typing import Optional
 
 from ..db.engine import LocalDatabase
+from ..db.operations import OperationType
 from ..db.transaction import TransactionStatus, WriteSetMessage
 from ..gcs.atomic_broadcast import AtomicBroadcastEndpoint, Delivery
 from ..gcs.state_transfer import install_checkpoint, take_checkpoint
@@ -94,12 +95,13 @@ class DatabaseStateMachineReplica(ReplicaServer):
     def _execute(self, pending: PendingSubmission):
         """Delegate-side execution: read phase, then broadcast (Fig. 2 / Fig. 8)."""
         transaction = pending.transaction
+        read_type = OperationType.READ
+        db = self.db
         for operation in transaction.program.operations:
-            if operation.is_read:
-                yield from self.db.read(transaction, operation.key,
-                                        use_lock=False)
+            if operation.op_type is read_type:
+                yield from db.read(transaction, operation.key, use_lock=False)
             else:
-                self.db.stage_write(transaction, operation.key, operation.value)
+                db.stage_write(transaction, operation.key, operation.value)
 
         if not transaction.write_values:
             # Read-only transaction: no broadcast needed (Sect. 2.1), it

@@ -127,6 +127,7 @@ class LazyReplica(ReplicaServer):
     def _apply_propagated(self, batch: List[WriteSetMessage]):
         """Apply a batch of remote write sets (cheap, sequential, batched I/O)."""
         factor = self.params.lazy_propagation_write_factor
+        write_stream = self.sim.random.stream(f"{self.name}.propagated_write")
         for payload in batch:
             if self.db.testable.check_duplicate(payload.txn_id):
                 continue
@@ -136,8 +137,7 @@ class LazyReplica(ReplicaServer):
             self.applied_remote_writesets += 1
             for key in payload.write_set:
                 yield from self.node.use_cpu(self.node.cpu_time_per_io)
-                duration = factor * self.sim.random.uniform(
-                    f"{self.name}.propagated_write",
+                duration = factor * write_stream.uniform(
                     self.params.write_time_min, self.params.write_time_max)
                 if duration > 0:
                     yield from self.node.use_disk(duration)

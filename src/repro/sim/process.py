@@ -32,6 +32,9 @@ class Process(Event):
     fails with the exception that escaped the generator.
     """
 
+    __slots__ = ("name", "_generator", "_target", "_killed", "_send",
+                 "_throw", "_on_fire")
+
     def __init__(self, sim: "Simulator", generator: Generator[Event, Any, Any],
                  name: Optional[str] = None) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -42,10 +45,17 @@ class Process(Event):
         self._generator = generator
         self._target: Optional[Event] = None
         self._killed = False
+        # Hot-path handles bound once per process instead of once per yield:
+        # the generator's send/throw, and the resume callback (attribute
+        # access on a method creates a fresh bound-method object every time —
+        # at one callback per yield that is a measurable allocation).
+        self._send = generator.send
+        self._throw = generator.throw
+        self._on_fire = self._resume
 
         # Bootstrap: resume the generator for the first time "immediately".
         bootstrap = Event(sim)
-        bootstrap.add_callback(self._resume)
+        bootstrap._cb = self._on_fire
         bootstrap.succeed()
 
     # -- state -------------------------------------------------------------
@@ -96,9 +106,13 @@ class Process(Event):
     def _detach_from_target(self) -> None:
         target = self._target
         self._target = None
-        if target is not None and target.callbacks is not None:
+        if target is None:
+            return
+        if target._cb is self._on_fire:
+            target._cb = None
+        elif target.callbacks is not None:
             try:
-                target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._on_fire)
             except ValueError:
                 pass
 
@@ -106,25 +120,21 @@ class Process(Event):
         if not self.is_alive or self._killed:
             return
         self._detach_from_target()
-        self._step(event)
+        self._resume(event)
 
     def _resume(self, event: Event) -> None:
+        """Advance the generator by one yield using ``event``'s outcome."""
         if self._killed:
             return
         self._target = None
-        self._step(event)
-
-    def _step(self, event: Event) -> None:
-        """Advance the generator by one yield using ``event``'s outcome."""
         sim = self.sim
         sim._active_process = self
         try:
-            if event.ok:
-                next_event = self._generator.send(event.value)
+            if event._ok:
+                next_event = self._send(event._value)
             else:
-                event.defuse()
-                exception = event.value
-                next_event = self._generator.throw(exception)
+                event._defused = True
+                next_event = self._throw(event._value)
         except StopIteration as stop:
             if not self.triggered:
                 self.succeed(stop.value)
@@ -145,7 +155,19 @@ class Process(Event):
             raise SimulationError(
                 f"process {self.name!r} yielded an event from another simulator")
         self._target = next_event
-        next_event.add_callback(self._resume)
+        # Inlined next_event.add_callback(self._on_fire):
+        if next_event._processed:
+            self._on_fire(next_event)
+        elif next_event._cb is None and next_event.callbacks is None:
+            next_event._cb = self._on_fire
+        elif next_event.callbacks is None:
+            next_event.callbacks = [self._on_fire]
+        else:
+            next_event.callbacks.append(self._on_fire)
+
+    # Kept as an alias: subclass/test code historically drove the process
+    # through ``_step``.
+    _step = _resume
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         state = "alive" if self.is_alive else "finished"

@@ -15,8 +15,10 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, List, Optional, TYPE_CHECKING
 
+from heapq import heappush
+
 from .errors import SimulationError
-from .events import Event
+from .events import _PENDING, NORMAL_BIAS, Event, Timeout
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from .engine import Simulator
@@ -25,9 +27,21 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 class Request(Event):
     """A pending or granted claim on a :class:`Resource` slot."""
 
+    __slots__ = ("resource", "granted_at")
+
     def __init__(self, sim: "Simulator", resource: "Resource") -> None:
-        super().__init__(sim)
+        # Inlined Event.__init__ — one request per resource use makes this a
+        # hot allocation under saturation.
+        self.sim = sim
+        self._cb = None
+        self.callbacks = None
+        self._value = _PENDING
+        self._ok = None
+        self._defused = False
+        self._processed = False
         self.resource = resource
+        #: Simulated time the slot was granted (None while queued).
+        self.granted_at: Optional[float] = None
 
 
 class Resource:
@@ -58,7 +72,6 @@ class Resource:
         self.granted_count = 0
         #: Accumulated (simulated) busy time across all slots.
         self.busy_time = 0.0
-        self._grant_times: dict = {}
 
     # -- introspection -------------------------------------------------------
     @property
@@ -76,24 +89,37 @@ class Resource:
         """Ask for a slot; the returned event fires when the slot is granted."""
         request = Request(self.sim, self)
         if len(self._users) < self.capacity:
-            self._grant(request)
+            # Inlined _grant + succeed: the uncontended grant is the hottest
+            # resource operation of the whole model (a fresh request cannot
+            # have been triggered, so the succeed guard is skipped).
+            self._users.append(request)
+            sim = self.sim
+            request.granted_at = sim._now
+            self.granted_count += 1
+            request._ok = True
+            request._value = request
+            sim._sequence += 1
+            heappush(sim._queue,
+                     (sim._now, NORMAL_BIAS + sim._sequence, request))
         else:
             self._waiting.append(request)
         return request
 
     def release(self, request: Request) -> None:
         """Give back a previously granted slot."""
-        if request in self._users:
-            self._users.remove(request)
-            granted_at = self._grant_times.pop(request, self.sim.now)
-            self.busy_time += self.sim.now - granted_at
-        elif request in self._waiting:
-            self._waiting.remove(request)
-            return
-        else:
+        users = self._users
+        try:
+            users.remove(request)
+        except ValueError:
+            if request in self._waiting:
+                self._waiting.remove(request)
+                return
             raise SimulationError(
-                f"release of a request not held on {self.name!r}")
-        if self._waiting and len(self._users) < self.capacity:
+                f"release of a request not held on {self.name!r}") from None
+        now = self.sim._now
+        granted_at = request.granted_at
+        self.busy_time += now - (now if granted_at is None else granted_at)
+        if self._waiting and len(users) < self.capacity:
             self._grant(self._waiting.popleft())
 
     def use(self, duration: float):
@@ -102,11 +128,26 @@ class Resource:
         Yield from it inside a process::
 
             yield from disk.use(8.0)
+
+        The body repeats :meth:`request` inline (same fast path) because
+        ``use`` accounts for nearly every resource interaction of the model.
         """
-        request = self.request()
+        sim = self.sim
+        request = Request(sim, self)
+        if len(self._users) < self.capacity:
+            self._users.append(request)
+            request.granted_at = sim._now
+            self.granted_count += 1
+            request._ok = True
+            request._value = request
+            sim._sequence += 1
+            heappush(sim._queue,
+                     (sim._now, NORMAL_BIAS + sim._sequence, request))
+        else:
+            self._waiting.append(request)
         yield request
         try:
-            yield self.sim.timeout(duration)
+            yield Timeout(sim, duration)
         finally:
             self.release(request)
 
@@ -118,11 +159,10 @@ class Resource:
         """
         self._waiting.clear()
         self._users.clear()
-        self._grant_times.clear()
 
     def _grant(self, request: Request) -> None:
         self._users.append(request)
-        self._grant_times[request] = self.sim.now
+        request.granted_at = self.sim._now
         self.granted_count += 1
         request.succeed(request)
 
@@ -147,7 +187,14 @@ class Store:
         self.put_count += 1
         if self._getters:
             getter = self._getters.popleft()
-            getter.succeed(item)
+            # Inlined getter.succeed(item): a queued getter is pending by
+            # construction.
+            getter._ok = True
+            getter._value = item
+            sim = self.sim
+            sim._sequence += 1
+            heappush(sim._queue,
+                     (sim._now, NORMAL_BIAS + sim._sequence, getter))
         else:
             self._items.append(item)
 
@@ -155,7 +202,13 @@ class Store:
         """Return an event that fires with the next available item."""
         event = Event(self.sim)
         if self._items:
-            event.succeed(self._items.popleft())
+            # Inlined event.succeed(...): the event was created pending.
+            event._ok = True
+            event._value = self._items.popleft()
+            sim = self.sim
+            sim._sequence += 1
+            heappush(sim._queue,
+                     (sim._now, NORMAL_BIAS + sim._sequence, event))
         else:
             self._getters.append(event)
         return event
@@ -201,7 +254,13 @@ class Gate:
         """Return an event that fires when the gate is (or becomes) open."""
         event = Event(self.sim)
         if self._opened:
-            event.succeed()
+            # Inlined event.succeed(None): the event was created pending.
+            event._ok = True
+            event._value = None
+            sim = self.sim
+            sim._sequence += 1
+            heappush(sim._queue,
+                     (sim._now, NORMAL_BIAS + sim._sequence, event))
         else:
             self._waiters.append(event)
         return event

@@ -26,7 +26,16 @@ def _derive_seed(master_seed: int, name: str) -> int:
 
 
 class RandomStreams:
-    """A registry of independent named random streams."""
+    """A registry of independent named random streams.
+
+    Stream seeds depend only on the master seed and the stream *name* —
+    never on creation order — so hot-path callers are encouraged to
+    *intern* their stream handle once (``stream = sim.random.stream(name)``
+    at construction time) and draw from it directly, instead of re-resolving
+    an f-string name through this registry on every draw.
+    """
+
+    __slots__ = ("master_seed", "_streams")
 
     def __init__(self, master_seed: int = 0) -> None:
         self.master_seed = master_seed
@@ -34,9 +43,11 @@ class RandomStreams:
 
     def stream(self, name: str) -> random.Random:
         """Return (creating on first use) the stream called ``name``."""
-        if name not in self._streams:
-            self._streams[name] = random.Random(_derive_seed(self.master_seed, name))
-        return self._streams[name]
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = self._streams[name] = random.Random(
+                _derive_seed(self.master_seed, name))
+        return stream
 
     # -- convenience draws ----------------------------------------------------
     def uniform(self, name: str, low: float, high: float) -> float:

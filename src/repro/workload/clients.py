@@ -128,10 +128,10 @@ class ClosedLoopClientPool(_ClientPoolBase):
                                name=f"clients.{name}")
 
     def _client_loop(self, server: str, client_name: str):
+        think_stream = self.sim.random.stream(f"clients.{client_name}.think")
+        think_rate = 1.0 / self.think_time_mean
         while True:
-            think = self.sim.random.expovariate(
-                f"clients.{client_name}.think", 1.0 / self.think_time_mean)
-            yield self.sim.timeout(think)
+            yield self.sim.timeout(think_stream.expovariate(think_rate))
             if not self.cluster.node(server).is_up:
                 continue
             program = self.workload.next_program(client=client_name)

@@ -9,7 +9,10 @@ uniformly among the 10'000 items of the database.
 All draws come from dedicated named random streams of the simulator, so two
 techniques evaluated with the same seed receive exactly the same sequence of
 transaction programs — the common-random-numbers discipline that makes the
-Fig. 9 comparison fair.
+Fig. 9 comparison fair.  The stream handles are resolved **once** at
+construction time (``self._item_stream`` etc.) instead of re-interning an
+f-string name per draw: stream seeds depend only on the name, so the hoisted
+handles draw bit-identical values.
 
 Beyond the paper's uniform access model, the generator supports a Zipf-skewed
 item distribution (``zipf_skew`` in :class:`SimulationParameters`): with skew
@@ -17,16 +20,82 @@ item distribution (``zipf_skew`` in :class:`SimulationParameters`): with skew
 ``1 / (i + 1) ** s``, producing the hot-spot workloads used by the
 partitioned-replication experiments.  Skew 0 reproduces the original uniform
 draws bit-for-bit.
+
+Skewed draws default to a binary search over the cumulative weight table
+(O(log n) per draw).  ``SimulationParameters.alias_sampling`` opts into an
+O(1) :class:`AliasSampler` (Vose's method) instead — same distribution, but
+the stream is consumed differently, so seeded traces change; it is therefore
+strictly opt-in and off for every pinned-figure configuration.
 """
 
 from __future__ import annotations
 
-import bisect
+from bisect import bisect_left
 from typing import List, Optional, Sequence
 
 from ..db.operations import Operation, OperationType, TransactionProgram
 from ..sim.engine import Simulator
 from .params import SimulationParameters
+
+
+class AliasSampler:
+    """O(1) sampling from a fixed discrete distribution (Vose's alias method).
+
+    Construction is O(n); each draw consumes exactly one ``random()`` call
+    (like one ``uniform`` draw of the bisect path) and costs two table reads.
+    Deterministic: the table layout depends only on the weights.
+    """
+
+    __slots__ = ("size", "_prob", "_alias")
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        if not weights:
+            raise ValueError("alias sampler needs at least one weight")
+        size = len(weights)
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("alias sampler needs positive total weight")
+        scaled = [weight * size / total for weight in weights]
+        prob = [0.0] * size
+        alias = [0] * size
+        small: List[int] = []
+        large: List[int] = []
+        for index in range(size):
+            (small if scaled[index] < 1.0 else large).append(index)
+        while small and large:
+            lo = small.pop()
+            hi = large.pop()
+            prob[lo] = scaled[lo]
+            alias[lo] = hi
+            scaled[hi] = (scaled[hi] + scaled[lo]) - 1.0
+            (small if scaled[hi] < 1.0 else large).append(hi)
+        for index in large:
+            prob[index] = 1.0
+        for index in small:
+            prob[index] = 1.0
+        self.size = size
+        self._prob = prob
+        self._alias = alias
+
+    @classmethod
+    def from_cumulative(cls, cumulative: Sequence[float]) -> "AliasSampler":
+        """Build from a cumulative weight table (the bisect path's input)."""
+        previous = 0.0
+        weights = []
+        for value in cumulative:
+            weights.append(value - previous)
+            previous = value
+        return cls(weights)
+
+    def sample_index(self, rng) -> int:
+        """Draw one index using a single ``rng.random()`` call."""
+        u = rng.random() * self.size
+        index = int(u)
+        if index >= self.size:  # u == size on the closed float boundary
+            index = self.size - 1
+        if (u - index) <= self._prob[index]:
+            return index
+        return self._alias[index]
 
 
 class WorkloadGenerator:
@@ -50,49 +119,75 @@ class WorkloadGenerator:
         self.skew = params.zipf_skew if skew is None else skew
         if self.skew < 0:
             raise ValueError(f"zipf skew must be non-negative, got {self.skew!r}")
+        if not 0.0 <= params.write_probability <= 1.0:
+            raise ValueError(
+                f"write probability out of range: {params.write_probability!r}")
         self._cumulative = (zipf_cumulative(len(self.item_keys), self.skew)
                             if self.skew > 0 else None)
+        #: Opt-in O(1) sampler over the same distribution (different stream
+        #: consumption — NOT bit-compatible with the bisect default).
+        self.alias_sampling = bool(getattr(params, "alias_sampling", False))
+        self._alias = (AliasSampler.from_cumulative(self._cumulative)
+                       if self.alias_sampling and self._cumulative is not None
+                       else None)
+        # Interned stream handles: resolve the f-string names once, not per
+        # draw.  Stream seeds depend only on the name, so this is draw-exact.
+        streams = sim.random
+        self._item_stream = streams.stream(f"{stream_prefix}.item")
+        self._length_stream = streams.stream(f"{stream_prefix}.length")
+        self._write_stream = streams.stream(f"{stream_prefix}.write")
+        self._arrival_stream = streams.stream(f"{stream_prefix}.arrival")
         #: Number of programs generated so far.
         self.generated_count = 0
 
     # -- item selection ----------------------------------------------------------------
     def choose_key(self, keys: Optional[Sequence[str]] = None,
-                   cumulative: Optional[Sequence[float]] = None) -> str:
+                   cumulative: Optional[Sequence[float]] = None,
+                   alias: Optional[AliasSampler] = None) -> str:
         """Draw one item key from the (possibly Zipf-skewed) access distribution.
 
         Without arguments the draw is over the generator's whole keyspace;
         subclasses pass a restricted ``keys`` population (with its matching
-        ``cumulative`` weight table when skewed) to confine a transaction to
-        one partition.  All draws consume the same named stream, so the
-        common-random-numbers discipline is preserved.
+        ``cumulative`` weight table — or ``alias`` sampler — when skewed) to
+        confine a transaction to one partition.  All draws consume the same
+        named stream, so the common-random-numbers discipline is preserved.
         """
-        population = self.item_keys if keys is None else keys
-        weights = self._cumulative if keys is None else cumulative
+        stream = self._item_stream
+        if keys is None:
+            population: Sequence[str] = self.item_keys
+            weights = self._cumulative
+            alias = self._alias
+        else:
+            population = keys
+            weights = cumulative
+        if alias is not None:
+            return population[alias.sample_index(stream)]
         if weights is None:
-            return self.sim.random.choice(f"{self.stream_prefix}.item",
-                                          population)
-        position = self.sim.random.uniform(f"{self.stream_prefix}.item",
-                                           0.0, weights[-1])
-        index = bisect.bisect_left(weights, position)
-        return population[min(index, len(population) - 1)]
+            return stream.choice(population)
+        position = stream.uniform(0.0, weights[-1])
+        index = bisect_left(weights, position)
+        if index >= len(population):
+            index = len(population) - 1
+        return population[index]
 
     # -- single transactions ---------------------------------------------------------
     def next_program(self, client: str = "client") -> TransactionProgram:
         """Generate the next transaction program for ``client``."""
-        length = self.sim.random.randint(
-            f"{self.stream_prefix}.length",
+        length = self._length_stream.randint(
             self.params.transaction_length_min,
             self.params.transaction_length_max)
+        write_random = self._write_stream.random
+        write_probability = self.params.write_probability
+        choose_key = self.choose_key
         operations: List[Operation] = []
+        append = operations.append
         for position in range(length):
-            key = self.choose_key()
-            is_write = self.sim.random.bernoulli(
-                f"{self.stream_prefix}.write", self.params.write_probability)
-            if is_write:
-                operations.append(Operation(OperationType.WRITE, key,
-                                            value=f"{client}@{position}"))
+            key = choose_key()
+            if write_random() < write_probability:
+                append(Operation(OperationType.WRITE, key,
+                                 value=f"{client}@{position}"))
             else:
-                operations.append(Operation(OperationType.READ, key))
+                append(Operation(OperationType.READ, key))
         # A transaction of only reads is fine; a transaction of only writes is
         # fine too — the mix emerges from the write probability, as in the
         # paper's simulator.
@@ -106,11 +201,10 @@ class WorkloadGenerator:
         Used by failure-injection scenarios that need a deterministic update
         transaction on known items.
         """
-        operations = []
-        for position in range(write_count):
-            key = self.choose_key()
-            operations.append(Operation(OperationType.WRITE, key,
-                                        value=f"{client}@{position}"))
+        choose_key = self.choose_key
+        operations = [Operation(OperationType.WRITE, choose_key(),
+                                value=f"{client}@{position}")
+                      for position in range(write_count)]
         self.generated_count += 1
         return TransactionProgram(operations=tuple(operations), client=client)
 
@@ -127,9 +221,7 @@ class WorkloadGenerator:
         """
         if load_tps <= 0:
             raise ValueError("load must be positive")
-        rate_per_ms = load_tps / 1000.0
-        return self.sim.random.expovariate(f"{self.stream_prefix}.arrival",
-                                           rate_per_ms)
+        return self._arrival_stream.expovariate(load_tps / 1000.0)
 
 
 def zipf_cumulative(population_size: int, skew: float) -> List[float]:

@@ -1,0 +1,300 @@
+"""Golden-trace determinism tests for the simulation-kernel fast path.
+
+These tests are what licenses kernel optimisation work: every change to
+``repro.sim`` (or to anything on the event hot path) must keep
+default-configuration runs **bit-identical** — same seed, same event
+ordering, same statistics.  Three layers of protection:
+
+* *run-twice identity* — a mixed partitioned scenario (Zipf skew,
+  cross-partition 2PC, a live migration under load) run twice with the same
+  seed produces identical event-trace digests and identical statistics;
+* *pinned seed values* — concrete numbers recorded from the seed kernel
+  (pre-optimisation) that the current kernel must still reproduce exactly;
+* *alias-sampler opt-in* — the O(1) Zipf sampler consumes the item stream
+  differently, so it must be off by default, change draws only when
+  explicitly enabled, and still sample the same distribution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.experiments.figure9 import run_load_point
+from repro.experiments.scenarios import figure5_scenario
+from repro.partition.cluster import PartitionedCluster
+from repro.partition.workload import PartitionedOpenLoopClients
+from repro.sim.engine import Simulator
+from repro.workload.generator import AliasSampler, WorkloadGenerator, \
+    zipf_cumulative
+from repro.workload.params import SimulationParameters
+
+
+def _digest(trace) -> str:
+    """SHA-256 over the (time, queue key, event type) trace entries."""
+    h = hashlib.sha256()
+    for entry in trace:
+        h.update(repr(entry).encode())
+    return h.hexdigest()
+
+
+def _mixed_run(seed: int):
+    """One mixed scenario: 4 range shards, Zipf load, forced live migration."""
+    params = SimulationParameters.small(server_count=3,
+                                        item_count=240).with_overrides(
+        partition_count=4, zipf_skew=1.1, cross_partition_probability=0.1)
+    cluster = PartitionedCluster("group-safe", params=params, seed=seed,
+                                 strategy="range")
+    trace = cluster.sim.enable_trace()
+    cluster.start()
+    clients = PartitionedOpenLoopClients(cluster, load_tps=120.0, warmup=0.0)
+    clients.start()
+    cluster.run(until=1_500.0)
+    cluster.rebalance()          # live migration of the hot head under load
+    cluster.run(until=4_000.0)
+    stats = (
+        clients.committed_count,
+        clients.submitted_count,
+        cluster.routing.epoch,
+        len(cluster.migration_reports),
+        tuple(clients.response_times()),
+        cluster.lan.sent_count,
+        cluster.lan.delivered_count,
+        cluster.router.wrong_epoch_retries,
+        cluster.sim.scheduled_events,
+    )
+    return _digest(trace), stats
+
+
+def test_golden_trace_same_seed_is_bit_identical():
+    digest_a, stats_a = _mixed_run(seed=71)
+    digest_b, stats_b = _mixed_run(seed=71)
+    assert digest_a == digest_b
+    assert stats_a == stats_b
+
+
+def test_golden_trace_digest_is_sensitive_to_the_seed():
+    digest_a, _ = _mixed_run(seed=71)
+    digest_b, _ = _mixed_run(seed=72)
+    assert digest_a != digest_b
+
+
+def test_trace_hook_records_every_processed_event():
+    sim = Simulator(seed=0)
+    trace = sim.enable_trace()
+    fired = []
+    sim.call_after(1.0, lambda: fired.append(sim.now))
+    sim.call_after(2.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [1.0, 2.0]
+    assert len(trace) == 2
+    times = [entry[0] for entry in trace]
+    assert times == [1.0, 2.0]
+
+
+class TestPinnedSeedValues:
+    """Concrete numbers recorded from the seed (pre-optimisation) kernel.
+
+    If one of these moves, a kernel change silently altered the trace —
+    which invalidates every cross-PR performance and figure comparison.
+    """
+
+    def test_figure5_scenario_is_unchanged(self):
+        outcome = figure5_scenario(seed=1)
+        assert outcome.confirmed is True
+        assert outcome.fate.is_lost is True
+        assert outcome.committed_on == ["s1"]
+        assert outcome.response.response_time == \
+            pytest.approx(35.48652061143362, abs=1e-9)
+
+    def test_group_safe_load_point_is_unchanged(self):
+        point = run_load_point("group-safe", 30.0, duration_ms=4_000.0,
+                               warmup_ms=1_000.0, seed=5)
+        assert point.committed_transactions == 81
+        assert point.aborted_transactions == 0
+        assert point.mean_response_time_ms == \
+            pytest.approx(72.98573646760694, abs=1e-9)
+
+
+class TestAliasSampler:
+    def _generator(self, alias: bool, seed: int = 9) -> WorkloadGenerator:
+        params = SimulationParameters.small(item_count=300).with_overrides(
+            zipf_skew=1.1, alias_sampling=alias)
+        return WorkloadGenerator(Simulator(seed=seed), params)
+
+    def test_off_by_default(self):
+        params = SimulationParameters.small()
+        assert params.alias_sampling is False
+        generator = WorkloadGenerator(Simulator(seed=1), params)
+        assert generator.alias_sampling is False
+        assert generator._alias is None
+
+    def test_flag_changes_draws_only_when_enabled(self):
+        baseline = [self._generator(alias=False).next_program()
+                    for _ in range(1)][0]
+        repeat = self._generator(alias=False).next_program()
+        changed = self._generator(alias=True).next_program()
+        keys = [operation.key for operation in baseline.operations]
+        assert keys == [operation.key for operation in repeat.operations]
+        assert keys != [operation.key for operation in changed.operations]
+
+    def test_alias_samples_the_same_distribution(self):
+        # Empirical check: alias and bisect draws over the same Zipf table
+        # agree on the mass of the hot head to within a few percent.
+        import random
+
+        cumulative = zipf_cumulative(300, 1.1)
+        sampler = AliasSampler.from_cumulative(cumulative)
+        rng = random.Random(4)
+        draws = 30_000
+        hot = sum(1 for _ in range(draws)
+                  if sampler.sample_index(rng) < 10)
+        total = cumulative[-1]
+        expected = cumulative[9] / total
+        assert hot / draws == pytest.approx(expected, rel=0.05)
+
+    def test_alias_single_weight_and_validation(self):
+        import random
+
+        sampler = AliasSampler([3.0])
+        assert sampler.sample_index(random.Random(0)) == 0
+        with pytest.raises(ValueError):
+            AliasSampler([])
+        with pytest.raises(ValueError):
+            AliasSampler([0.0, 0.0])
+
+    def test_partitioned_alias_confines_keys_to_partitions(self):
+        params = SimulationParameters.small(server_count=3,
+                                            item_count=240).with_overrides(
+            partition_count=4, zipf_skew=1.1, alias_sampling=True,
+            cross_partition_probability=0.0)
+        cluster = PartitionedCluster("group-safe", params=params, seed=13,
+                                     strategy="range")
+        snapshot = cluster.routing.snapshot()
+        for _ in range(50):
+            program = cluster.workload.next_program()
+            owners = {snapshot.partition_of(operation.key)
+                      for operation in program.operations}
+            assert len(owners) == 1
+
+
+def test_engine_read_matches_buffer_read_item():
+    """The inlined read charge of ``LocalDatabase.read`` must stay in
+    lockstep with ``BufferPool.read_item`` (still used by the migration
+    copy path): identical stream draws, identical hit/miss accounting,
+    identical simulated timing."""
+    from repro.db.engine import LocalDatabase
+    from repro.db.operations import make_program
+    from repro.network.node import Node
+
+    def drive(via_engine: bool):
+        sim = Simulator(seed=99)
+        node = Node(sim, "s1")
+        db = LocalDatabase(sim, node, item_count=50)
+        txn = db.begin(make_program([("r", "item-0")]))
+
+        def reads():
+            for index in range(200):
+                key = f"item-{index % 50}"
+                if via_engine:
+                    yield from db.read(txn, key)
+                else:
+                    yield from db.buffer.read_item(key)
+
+        sim.run_until_complete(sim.spawn(reads()))
+        return (db.buffer.read_hits, db.buffer.read_misses, sim.now,
+                sim.scheduled_events)
+
+    assert drive(via_engine=True) == drive(via_engine=False)
+
+
+class TestInlinedUseSitesReleaseOnKill:
+    """The hand-inlined ``request / yield Timeout / finally release`` blocks
+    (buffer read/write/flush, WAL flush, dispatcher loop, broadcast sender —
+    same pattern everywhere) must keep ``Resource.use``'s crash semantics:
+    killing the process mid-charge releases the slot via ``finally``."""
+
+    def _db(self, seed: int = 3, hit_ratio: float = 0.0):
+        from repro.db.engine import LocalDatabase
+        from repro.network.node import Node
+
+        sim = Simulator(seed=seed)
+        node = Node(sim, "s1")
+        db = LocalDatabase(sim, node, item_count=20, hit_ratio=hit_ratio)
+        return sim, node, db
+
+    def _assert_released_after_kill(self, sim, node, process):
+        sim.run(until=sim.now + 1.0)   # mid-charge: a slot is held
+        assert node.cpu.in_use + node.disk.in_use >= 1
+        process.kill("probe")
+        sim.run(until=sim.now + 50.0)
+        assert node.cpu.in_use == 0
+        assert node.disk.in_use == 0
+
+    def test_wal_flush_releases_on_kill(self):
+        sim, node, db = self._db()
+        db.wal.append_commit("t1", {"item-0": 1})
+        process = sim.spawn(db.wal.flush())
+        self._assert_released_after_kill(sim, node, process)
+
+    def test_buffer_flush_some_releases_on_kill(self):
+        sim, node, db = self._db()
+        db.buffer.write_item_async("item-0")
+        process = sim.spawn(db.buffer.flush_some())
+        self._assert_released_after_kill(sim, node, process)
+
+    def test_buffer_write_sync_releases_on_kill(self):
+        sim, node, db = self._db(hit_ratio=0.0)   # force the disk path
+        process = sim.spawn(db.buffer.write_item_sync("item-0"))
+        self._assert_released_after_kill(sim, node, process)
+
+    def test_engine_read_releases_on_kill(self):
+        from repro.db.operations import make_program
+
+        sim, node, db = self._db(hit_ratio=0.0)
+        txn = db.begin(make_program([("r", "item-0")]))
+        process = sim.spawn(db.read(txn, "item-0"))
+        self._assert_released_after_kill(sim, node, process)
+
+    def test_dispatcher_loop_releases_on_kill(self):
+        from repro.network.dispatch import Dispatcher
+        from repro.network.message import Message
+        from repro.network.node import Node
+
+        sim = Simulator(seed=3)
+        node = Node(sim, "s1")
+        dispatcher = Dispatcher(sim, node)
+        dispatcher.register("PING", lambda message: None)
+        dispatcher.start()
+        node.inbox.put(Message(sender="s2", destination="s1", kind="PING"))
+        sim.run(until=0.01)            # mid network-CPU charge (0.07 ms)
+        assert node.cpu.in_use == 1
+        node.crash()                   # kills the loop; cancel_all clears
+        node.recover()
+        sim.run(until=5.0)
+        assert node.cpu.in_use == 0
+
+
+class TestStreamInterning:
+    def test_hoisted_stream_handles_draw_identically(self):
+        from repro.sim.rng import RandomStreams
+
+        named = RandomStreams(42)
+        interned = RandomStreams(42)
+        stream = interned.stream("workload.item")
+        named_draws = [named.uniform("workload.item", 0.0, 1.0)
+                       for _ in range(100)]
+        interned_draws = [stream.uniform(0.0, 1.0) for _ in range(100)]
+        assert named_draws == interned_draws
+
+    def test_stream_creation_order_does_not_change_seeds(self):
+        from repro.sim.rng import RandomStreams
+
+        forward = RandomStreams(7)
+        backward = RandomStreams(7)
+        a_first = forward.stream("a").random()
+        forward.stream("b")
+        backward.stream("b")
+        a_second = backward.stream("a").random()
+        assert a_first == a_second
