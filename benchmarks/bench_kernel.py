@@ -47,6 +47,8 @@ from typing import Dict, Optional
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.obs.kernel import (profile_kernel_trace,  # noqa: E402
+                              render_kernel_profile)
 from repro.partition.cluster import PartitionedCluster  # noqa: E402
 from repro.partition.controller import RebalanceController  # noqa: E402
 from repro.partition.workload import PartitionedOpenLoopClients  # noqa: E402
@@ -65,9 +67,10 @@ def _event_count(sim) -> int:
     return getattr(sim, "scheduled_events", None) or sim._sequence
 
 
-def _summary(sim, commits: int, sim_ms: float, wall_s: float) -> Dict[str, float]:
+def _summary(sim, commits: int, sim_ms: float, wall_s: float,
+             trace=None) -> Dict[str, float]:
     events = _event_count(sim)
-    return {
+    summary = {
         "events": events,
         "committed_txns": commits,
         "simulated_ms": sim_ms,
@@ -75,27 +78,32 @@ def _summary(sim, commits: int, sim_ms: float, wall_s: float) -> Dict[str, float
         "events_per_sec": round(events / wall_s, 1) if wall_s > 0 else 0.0,
         "commits_per_sec": round(commits / wall_s, 1) if wall_s > 0 else 0.0,
     }
+    if trace is not None:
+        summary["profile"] = profile_kernel_trace(trace)
+    return summary
 
 
 # -- scenarios --------------------------------------------------------------------------
 
 
-def one_shard_saturation(smoke: bool) -> Dict[str, float]:
+def one_shard_saturation(smoke: bool, profile: bool = False) -> Dict[str, float]:
     """Table 4 group-safe topology at a saturating open-loop load."""
     duration_ms = 4_000.0 if smoke else 20_000.0
     cluster = ReplicatedDatabaseCluster("group-safe",
                                         params=SimulationParameters.paper(),
                                         seed=11)
+    trace = cluster.sim.enable_trace() if profile else None
     cluster.start()
     clients = OpenLoopClientPool(cluster, load_tps=40.0, warmup=0.0)
     clients.start()
     started = time.perf_counter()
     cluster.run(until=duration_ms)
     wall = time.perf_counter() - started
-    return _summary(cluster.sim, len(clients.committed), duration_ms, wall)
+    return _summary(cluster.sim, len(clients.committed), duration_ms, wall,
+                    trace=trace)
 
 
-def partitioned_zipf(smoke: bool) -> Dict[str, float]:
+def partitioned_zipf(smoke: bool, profile: bool = False) -> Dict[str, float]:
     """4 range shards, Zipf-1.1 skew, 10% cross-partition 2PC traffic."""
     duration_ms = 3_000.0 if smoke else 12_000.0
     params = SimulationParameters.small(server_count=3,
@@ -103,16 +111,18 @@ def partitioned_zipf(smoke: bool) -> Dict[str, float]:
         partition_count=4, zipf_skew=1.1, cross_partition_probability=0.1)
     cluster = PartitionedCluster("group-safe", params=params, seed=17,
                                  strategy="range")
+    trace = cluster.sim.enable_trace() if profile else None
     cluster.start()
     clients = PartitionedOpenLoopClients(cluster, load_tps=300.0, warmup=0.0)
     clients.start()
     started = time.perf_counter()
     cluster.run(until=duration_ms)
     wall = time.perf_counter() - started
-    return _summary(cluster.sim, clients.committed_count, duration_ms, wall)
+    return _summary(cluster.sim, clients.committed_count, duration_ms, wall,
+                    trace=trace)
 
 
-def autobalance_shift(smoke: bool) -> Dict[str, float]:
+def autobalance_shift(smoke: bool, profile: bool = False) -> Dict[str, float]:
     """Hotspot shift repaired by the live rebalance controller."""
     duration_ms = 8_000.0 if smoke else 17_000.0
     shift_at_ms = duration_ms * 0.35
@@ -122,6 +132,7 @@ def autobalance_shift(smoke: bool) -> Dict[str, float]:
         partition_count=4, zipf_skew=1.1, cross_partition_probability=0.05)
     cluster = PartitionedCluster("group-safe", params=params, seed=33,
                                  strategy="range")
+    trace = cluster.sim.enable_trace() if profile else None
     cluster.start()
     controller = RebalanceController(cluster, window_ms=500.0,
                                      share_threshold=0.45,
@@ -135,7 +146,8 @@ def autobalance_shift(smoke: bool) -> Dict[str, float]:
     cluster.workload.shift_hotspot(items // 2)
     cluster.run(until=duration_ms)
     wall = time.perf_counter() - started
-    return _summary(cluster.sim, clients.committed_count, duration_ms, wall)
+    return _summary(cluster.sim, clients.committed_count, duration_ms, wall,
+                    trace=trace)
 
 
 SCENARIOS = {
@@ -219,7 +231,19 @@ def main(argv: Optional[list] = None) -> int:
                              "the best (least-interference) run is reported")
     parser.add_argument("--no-gate", action="store_true",
                         help="skip the events/sec regression gate")
+    parser.add_argument("--profile", action="store_true",
+                        help="run each scenario once with kernel tracing on "
+                             "and print a per-event-type profile (no timing "
+                             "gate; traced runs are slower by design)")
     arguments = parser.parse_args(argv)
+
+    if arguments.profile:
+        for name, scenario in SCENARIOS.items():
+            print(f"profiling {name}...", flush=True)
+            run = scenario(arguments.smoke, profile=True)
+            print(render_kernel_profile(run["profile"]))
+            print()
+        return 0
 
     json_path = arguments.json or (SMOKE_JSON if arguments.smoke
                                    else DEFAULT_JSON)

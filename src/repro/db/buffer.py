@@ -116,25 +116,35 @@ class BufferPool:
         node = self.node
         cpu = node.cpu
         sim = self.sim
-        request = cpu.request()
-        yield request
+        obs = sim.obs
+        span = None
+        if obs is not None:
+            span = obs.begin("buffer.read", category="disk",
+                             track=f"server.{node.name}",
+                             labels={"key": key})
         try:
-            yield Timeout(sim, node.cpu_time_per_io)
+            request = cpu.request()
+            yield request
+            try:
+                yield Timeout(sim, node.cpu_time_per_io)
+            finally:
+                cpu.release(request)
+            if self._hit_stream.random() < self.hit_ratio:
+                self.read_hits += 1
+                return
+            self.read_misses += 1
+            disk = node.disk
+            duration = self._read_stream.uniform(self.read_time_low,
+                                                 self.read_time_high)
+            request = disk.request()
+            yield request
+            try:
+                yield Timeout(sim, duration)
+            finally:
+                disk.release(request)
         finally:
-            cpu.release(request)
-        if self._hit_stream.random() < self.hit_ratio:
-            self.read_hits += 1
-            return
-        self.read_misses += 1
-        disk = node.disk
-        duration = self._read_stream.uniform(self.read_time_low,
-                                             self.read_time_high)
-        request = disk.request()
-        yield request
-        try:
-            yield Timeout(sim, duration)
-        finally:
-            disk.release(request)
+            if span is not None:
+                obs.end(span)
 
     # -- writes ----------------------------------------------------------------------
     def write_item_sync(self, key: str):
@@ -143,26 +153,37 @@ class BufferPool:
         node = self.node
         cpu = node.cpu
         sim = self.sim
-        request = cpu.request()
-        yield request
+        obs = sim.obs
+        span = None
+        if obs is not None:
+            span = obs.begin("buffer.write", category="disk",
+                             track=f"server.{node.name}",
+                             labels={"key": key})
         try:
-            yield Timeout(sim, node.cpu_time_per_io)
+            request = cpu.request()
+            yield request
+            try:
+                yield Timeout(sim, node.cpu_time_per_io)
+            finally:
+                cpu.release(request)
+            if self._hit_stream.random() < self.hit_ratio:
+                # The page is resident: the modification stays in the buffer
+                # and will reach disk with a later flush, off the critical
+                # path.
+                self._mark_dirty(key)
+                return
+            disk = node.disk
+            duration = self._write_stream.uniform(self.write_time_low,
+                                                  self.write_time_high)
+            request = disk.request()
+            yield request
+            try:
+                yield Timeout(sim, duration)
+            finally:
+                disk.release(request)
         finally:
-            cpu.release(request)
-        if self._hit_stream.random() < self.hit_ratio:
-            # The page is resident: the modification stays in the buffer and
-            # will reach disk with a later flush, off the critical path.
-            self._mark_dirty(key)
-            return
-        disk = node.disk
-        duration = self._write_stream.uniform(self.write_time_low,
-                                              self.write_time_high)
-        request = disk.request()
-        yield request
-        try:
-            yield Timeout(sim, duration)
-        finally:
-            disk.release(request)
+            if span is not None:
+                obs.end(span)
 
     def write_item_async(self, key: str) -> None:
         """Mark ``key`` dirty; the physical write happens in the background."""

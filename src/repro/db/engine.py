@@ -104,25 +104,36 @@ class LocalDatabase:
         node = buffer.node
         cpu = node.cpu
         sim = self.sim
-        request = cpu.request()
-        yield request
+        obs = sim.obs
+        span = None
+        if obs is not None:
+            span = obs.begin("db.read", category="disk",
+                             track=f"server.{node.name}",
+                             parent=("txn", transaction.txn_id),
+                             labels={"key": key})
         try:
-            yield Timeout(sim, node.cpu_time_per_io)
-        finally:
-            cpu.release(request)
-        if buffer._hit_stream.random() < buffer.hit_ratio:
-            buffer.read_hits += 1
-        else:
-            buffer.read_misses += 1
-            duration = buffer._read_stream.uniform(buffer.read_time_low,
-                                                   buffer.read_time_high)
-            disk = node.disk
-            request = disk.request()
+            request = cpu.request()
             yield request
             try:
-                yield Timeout(sim, duration)
+                yield Timeout(sim, node.cpu_time_per_io)
             finally:
-                disk.release(request)
+                cpu.release(request)
+            if buffer._hit_stream.random() < buffer.hit_ratio:
+                buffer.read_hits += 1
+            else:
+                buffer.read_misses += 1
+                duration = buffer._read_stream.uniform(buffer.read_time_low,
+                                                       buffer.read_time_high)
+                disk = node.disk
+                request = disk.request()
+                yield request
+                try:
+                    yield Timeout(sim, duration)
+                finally:
+                    disk.release(request)
+        finally:
+            if span is not None:
+                obs.end(span)
         # The version is read after the I/O completed (it may have advanced
         # while the read occupied the disk) — only the lookup is hoisted.
         transaction.record_read(key, item.version)
@@ -147,7 +158,18 @@ class LocalDatabase:
             raise UnknownItemError(key)
         grant = self.locks.acquire(transaction.txn_id, key, LockMode.EXCLUSIVE)
         yield grant
-        yield from self.buffer.write_item_sync(key)
+        obs = self.sim.obs
+        span = None
+        if obs is not None:
+            span = obs.begin("db.write", category="disk",
+                             track=f"server.{self.node.name}",
+                             parent=("txn", transaction.txn_id),
+                             labels={"key": key})
+        try:
+            yield from self.buffer.write_item_sync(key)
+        finally:
+            if span is not None:
+                obs.end(span)
         transaction.record_write(key, value)
 
     def execute_operation(self, transaction: Transaction, operation: Operation,

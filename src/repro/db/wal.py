@@ -132,20 +132,32 @@ class WriteAheadLog:
         node = self.node
         cpu = node.cpu
         sim = self.sim
-        request = cpu.request()
-        yield request
+        obs = sim.obs
+        span = None
+        if obs is not None:
+            # Parentless on purpose: one group-commit flush serves many
+            # transactions; their own spans cover the wait via flush gates.
+            span = obs.begin("wal.flush", category="disk",
+                             track=f"server.{node.name}",
+                             labels={"records": len(self._volatile)})
         try:
-            yield Timeout(sim, node.cpu_time_per_io)
+            request = cpu.request()
+            yield request
+            try:
+                yield Timeout(sim, node.cpu_time_per_io)
+            finally:
+                cpu.release(request)
+            duration = self._flush_duration()
+            disk = node.disk
+            request = disk.request()
+            yield request
+            try:
+                yield Timeout(sim, duration)
+            finally:
+                disk.release(request)
         finally:
-            cpu.release(request)
-        duration = self._flush_duration()
-        disk = node.disk
-        request = disk.request()
-        yield request
-        try:
-            yield Timeout(sim, duration)
-        finally:
-            disk.release(request)
+            if span is not None:
+                obs.end(span)
         self.flush_count += 1
         flushed, self._volatile = self._volatile, []
         for record in flushed:

@@ -92,7 +92,8 @@ def run_autobalance_experiment(controlled: bool = True,
                                hysteresis_windows: int = 4,
                                copy_concurrency: Optional[int] = None,
                                seed: int = 33,
-                               params: Optional[SimulationParameters] = None
+                               params: Optional[SimulationParameters] = None,
+                               observability: bool = False
                                ) -> AutobalanceOutcome:
     """Drive one (optionally controller-supervised) hotspot-shift run.
 
@@ -111,6 +112,8 @@ def run_autobalance_experiment(controlled: bool = True,
     offset = shift_offset if shift_offset is not None else items // 2
     cluster = PartitionedCluster(technique, params=parameters, seed=seed,
                                  strategy="range")
+    if observability:
+        cluster.enable_observability()
     cluster.start()
     controller: Optional[RebalanceController] = None
     if controlled:
@@ -221,13 +224,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="small fast configuration for CI")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="run the controlled variant with tracing on and "
+                             "write a Chrome trace-event JSON (plus a "
+                             "critical-path .txt report) to PATH")
     arguments = parser.parse_args(argv)
     overrides = {}
     if arguments.smoke:
         overrides = dict(items=240, load_tps=100.0)
     static = run_autobalance_experiment(controlled=False, **overrides)
-    controlled = run_autobalance_experiment(controlled=True, **overrides)
+    controlled = run_autobalance_experiment(
+        controlled=True, observability=bool(arguments.trace), **overrides)
     print(render_autobalance_report(static, controlled))
+    if arguments.trace:
+        from pathlib import Path
+
+        from ..obs.export import write_chrome_trace, \
+            write_critical_path_report
+        trace_path = Path(arguments.trace)
+        write_chrome_trace(trace_path, controlled.statistics.obs,
+                           metadata={"scenario": "autobalance",
+                                     "smoke": arguments.smoke})
+        write_critical_path_report(trace_path.with_suffix(".txt"),
+                                   controlled.statistics.obs)
+        print(f"trace written to {trace_path} (critical-path report: "
+              f"{trace_path.with_suffix('.txt')})")
     stats = controlled.controller_stats
     problems = []
     if stats is None or stats.rebalances_triggered < 1:

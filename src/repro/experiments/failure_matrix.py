@@ -146,6 +146,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         techniques = list(SMOKE_TECHNIQUES) if arguments.smoke else None
         entries = run_failure_matrix(techniques=techniques,
                                      seed=arguments.seed)
+        from .traced import maybe_write_scenario_trace
+        maybe_write_scenario_trace(arguments.trace, seed=arguments.seed)
         return entries, render_matrix(entries)
 
     def problems_of(entries) -> List[str]:
@@ -158,9 +160,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "a loss schedule")
         return problems
 
-    return matrix_cli(argv, description=__doc__.splitlines()[0],
-                      report_name="failure_matrix", run=run,
-                      problems_of=problems_of)
+    return matrix_cli(
+        argv, description=__doc__.splitlines()[0],
+        report_name="failure_matrix", run=run, problems_of=problems_of,
+        extra_arguments=(
+            ("--trace", dict(default=None, metavar="PATH",
+                             help="also run the canonical traced scenario "
+                                  "and write its Chrome trace to PATH")),))
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI entry

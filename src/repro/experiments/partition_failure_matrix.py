@@ -683,6 +683,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         entries = run_partitioned_failure_matrix(
             techniques=techniques, shard_count=arguments.shards,
             seed=arguments.seed)
+        from .traced import maybe_write_scenario_trace
+        maybe_write_scenario_trace(arguments.trace, seed=arguments.seed)
         return entries, render_partitioned_matrix(entries)
 
     def problems_of(entries) -> List[str]:
@@ -704,7 +706,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         extra_arguments=(
             ("--shards", dict(type=int, default=2,
                               help="shard count of every scenario "
-                                   "(default 2)")),))
+                                   "(default 2)")),
+            ("--trace", dict(default=None, metavar="PATH",
+                             help="also run the canonical traced scenario "
+                                  "and write its Chrome trace to PATH")),))
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI entry

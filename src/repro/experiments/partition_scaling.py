@@ -60,9 +60,15 @@ def run_partition_point(technique: str = "group-safe",
                         duration_ms: float = 12_000.0,
                         warmup_ms: float = 2_000.0,
                         seed: int = 21,
-                        params: Optional[SimulationParameters] = None
+                        params: Optional[SimulationParameters] = None,
+                        observability: bool = False
                         ) -> PartitionPoint:
-    """Drive one partitioned configuration and summarise it."""
+    """Drive one partitioned configuration and summarise it.
+
+    With ``observability`` the cluster runs under the span tracer; the
+    resulting :class:`~repro.obs.tracer.Observability` is reachable as
+    ``point.statistics.obs`` for export.
+    """
     parameters = params or SimulationParameters.small(server_count=3,
                                                       item_count=400)
     parameters = parameters.with_overrides(
@@ -72,6 +78,8 @@ def run_partition_point(technique: str = "group-safe",
         parameters = parameters.with_overrides(
             cross_partition_span=cross_partition_span)
     cluster = PartitionedCluster(technique, params=parameters, seed=seed)
+    if observability:
+        cluster.enable_observability()
     cluster.start()
     clients = PartitionedOpenLoopClients(cluster, load_tps=load_tps,
                                          warmup=warmup_ms)
@@ -173,6 +181,52 @@ def render_span_sweep(points: Sequence[PartitionPoint]) -> str:
     return "\n".join(lines)
 
 
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry: run one partition sweep, optionally with a traced point.
+
+    ``--trace PATH`` re-runs the largest sweep point with the span tracer
+    enabled and writes the Chrome trace-event JSON (plus the critical-path
+    report) there.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="short windows / fewer points for CI")
+    parser.add_argument("--seed", type=int, default=21)
+    parser.add_argument("--cross", type=float, default=0.1,
+                        help="cross-partition probability of the sweep")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a Chrome trace of the largest sweep "
+                             "point to PATH (critical-path .txt next to it)")
+    arguments = parser.parse_args(argv)
+    counts = (1, 2, 4) if arguments.smoke else PARTITION_COUNTS
+    duration = 6_000.0 if arguments.smoke else 12_000.0
+    points = partition_sweep(partition_counts=counts,
+                             cross_partition_probability=arguments.cross,
+                             duration_ms=duration, seed=arguments.seed)
+    print(render_partition_sweep(points))
+    if arguments.trace:
+        from pathlib import Path
+
+        from ..obs.export import write_chrome_trace, \
+            write_critical_path_report
+        traced = run_partition_point(
+            partition_count=counts[-1],
+            cross_partition_probability=arguments.cross,
+            duration_ms=duration, seed=arguments.seed, observability=True)
+        trace_path = Path(arguments.trace)
+        write_chrome_trace(trace_path, traced.statistics.obs,
+                           metadata={"scenario": "partition-scaling",
+                                     "partitions": counts[-1],
+                                     "seed": arguments.seed})
+        write_critical_path_report(trace_path.with_suffix(".txt"),
+                                   traced.statistics.obs)
+        print(f"trace written to {trace_path} (critical-path report: "
+              f"{trace_path.with_suffix('.txt')})")
+    return 0
+
+
 def render_partition_sweep(points: Sequence[PartitionPoint]) -> str:
     """Text rendering of one partition sweep."""
     header = (f"{'partitions':>10} | {'xpart %':>7} | {'offered':>8} | "
@@ -191,3 +245,7 @@ def render_partition_sweep(points: Sequence[PartitionPoint]) -> str:
             f"{stats.percentile(0.99):>8.1f} | "
             f"{stats.measured_aborts:>6}")
     return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

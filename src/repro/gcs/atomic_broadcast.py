@@ -178,6 +178,10 @@ class AtomicBroadcastEndpoint:
         self._unsequenced[broadcast_id] = payload
         if self.trace is not None:
             self.trace.record_send(broadcast_id)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.instant("abcast.broadcast", track=f"gcs.{self.member_name}",
+                        labels={"broadcast_id": broadcast_id})
         self.broadcast_count += 1
         sequencer = self.current_sequencer()
         if sequencer is not None:
@@ -308,6 +312,12 @@ class AtomicBroadcastEndpoint:
                 self.trace.record_delivery(DeliveryRecord(
                     member=self.member_name, broadcast_id=entry.broadcast_id,
                     sequence=sequence, delivered_at=self.sim.now))
+            obs = self.sim.obs
+            if obs is not None:
+                obs.instant("abcast.deliver", track=f"gcs.{self.member_name}",
+                            labels={"broadcast_id": entry.broadcast_id,
+                                    "sequence": sequence,
+                                    "replayed": replayed})
             self.deliveries.put(delivery)
 
     def _before_deliver(self, sequence: int, entry: _PendingMessage,

@@ -131,13 +131,25 @@ class Lan:
         if destination._crashed:
             # The destination crashed while the message was in flight.
             self.dropped_count += 1
+            self._note_drop(message, "destination-crashed")
             return
         if self._blocked_pairs and \
                 (message.sender, message.destination) in self._blocked_pairs:
             self.dropped_count += 1
+            self._note_drop(message, "partitioned")
             return
         self.delivered_count += 1
         destination.inbox.put(message)
+
+    def _note_drop(self, message: Message, reason: str) -> None:
+        """Record an in-flight message loss on the span tracer, if attached."""
+        obs = self.sim.obs
+        if obs is not None:
+            obs.instant("lan.drop", track="lan",
+                        labels={"kind": message.kind,
+                                "sender": message.sender,
+                                "destination": message.destination,
+                                "reason": reason})
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (f"<Lan nodes={len(self._nodes)} sent={self.sent_count} "

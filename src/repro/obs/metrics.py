@@ -1,0 +1,217 @@
+"""A labelled metrics registry: counters, gauges and fixed-bucket histograms.
+
+The registry replaces the ad-hoc integer counters that had accumulated on the
+cluster, the 2PC coordinator, the router and the controller.  An instrument
+is identified by ``(kind, name, sorted label items)``; asking for the same
+name and labels twice returns the same handle, so call sites can either keep
+a handle (hot paths) or look one up on demand (reporting paths).
+
+Instruments are plain Python objects mutated in place — obtaining or updating
+one never schedules simulation events or draws random numbers, so metrics
+cannot perturb a run.
+
+**Collectors** bridge pull-style sources: a collector is a callable invoked
+at :meth:`MetricsRegistry.snapshot` time that samples external state (LAN
+message counts, WAL flush totals, controller decisions, ...) into gauges.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Default latency bucket upper bounds (milliseconds, inclusive).  Chosen to
+#: straddle the paper's response-time range: sub-millisecond local work up to
+#: multi-second outage-shadowed commits.
+DEFAULT_LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1_000.0, 2_000.0, 5_000.0)
+
+_LabelItems = Tuple[Tuple[str, Any], ...]
+
+
+def _label_items(labels: Dict[str, Any]) -> _LabelItems:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing labelled counter."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: _LabelItems) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1)."""
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<Counter {self.name} {dict(self.labels)} = {self.value}>"
+
+
+class Gauge:
+    """A labelled value that can go up and down (or be set outright)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: _LabelItems) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def set(self, value: Any) -> None:
+        """Replace the gauge value."""
+        self.value = value
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1)."""
+        self.value += amount
+
+    def dec(self, amount: int = 1) -> None:
+        """Subtract ``amount`` (default 1)."""
+        self.value -= amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<Gauge {self.name} {dict(self.labels)} = {self.value}>"
+
+
+class Histogram:
+    """A fixed-bucket histogram.
+
+    ``buckets`` are inclusive upper bounds; an observation lands in the first
+    bucket whose bound is >= the value, and values above the last bound land
+    in the implicit overflow bucket (``bucket_counts`` has
+    ``len(buckets) + 1`` entries).
+    """
+
+    __slots__ = ("name", "labels", "buckets", "bucket_counts", "count",
+                 "total")
+
+    def __init__(self, name: str, labels: _LabelItems,
+                 buckets: Sequence[float]) -> None:
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"bucket bounds must be sorted, got {bounds}")
+        self.name = name
+        self.labels = labels
+        self.buckets = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observations (0.0 if empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"<Histogram {self.name} {dict(self.labels)} "
+                f"n={self.count} mean={self.mean:.3f}>")
+
+
+class MetricsRegistry:
+    """Owns every instrument of one cluster/run plus the pull collectors."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, str, _LabelItems], Any] = {}
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+
+    # -- instrument factories ------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """Return (creating if needed) the counter ``name`` with ``labels``."""
+        key = ("counter", name, _label_items(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = Counter(name, key[2])
+            self._instruments[key] = instrument
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """Return (creating if needed) the gauge ``name`` with ``labels``."""
+        key = ("gauge", name, _label_items(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = Gauge(name, key[2])
+            self._instruments[key] = instrument
+        return instrument
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None,
+                  **labels: Any) -> Histogram:
+        """Return (creating if needed) the histogram ``name``/``labels``.
+
+        ``buckets`` only matters on first creation; later lookups return the
+        existing instrument unchanged.
+        """
+        key = ("histogram", name, _label_items(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = Histogram(
+                name, key[2],
+                DEFAULT_LATENCY_BUCKETS_MS if buckets is None else buckets)
+            self._instruments[key] = instrument
+        return instrument
+
+    # -- collectors ----------------------------------------------------------
+    def register_collector(
+            self, collector: Callable[["MetricsRegistry"], None]) -> None:
+        """Add a pull-style sampler invoked at :meth:`snapshot` time."""
+        self._collectors.append(collector)
+
+    def collect(self) -> None:
+        """Run every registered collector once."""
+        for collector in self._collectors:
+            collector(self)
+
+    # -- export --------------------------------------------------------------
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Collect, then serialise every instrument to plain dictionaries."""
+        self.collect()
+        rows: List[Dict[str, Any]] = []
+        for (kind, name, labels), instrument in sorted(
+                self._instruments.items(),
+                key=lambda item: (item[0][1], item[0][0], repr(item[0][2]))):
+            row: Dict[str, Any] = {
+                "kind": kind,
+                "name": name,
+                "labels": {key: value for key, value in labels},
+            }
+            if kind == "histogram":
+                row["buckets"] = list(instrument.buckets)
+                row["bucket_counts"] = list(instrument.bucket_counts)
+                row["count"] = instrument.count
+                row["total"] = instrument.total
+            else:
+                row["value"] = instrument.value
+            rows.append(row)
+        return rows
+
+    def render(self) -> str:
+        """Human-readable one-line-per-instrument dump of a snapshot."""
+        lines = []
+        for row in self.snapshot():
+            labels = ",".join(f"{key}={value}"
+                              for key, value in sorted(row["labels"].items()))
+            label_text = f"{{{labels}}}" if labels else ""
+            if row["kind"] == "histogram":
+                mean = row["total"] / row["count"] if row["count"] else 0.0
+                value = f"count={row['count']} mean={mean:.3f}"
+            else:
+                value = str(row["value"])
+            lines.append(f"{row['name']}{label_text} {value}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"<MetricsRegistry instruments={len(self._instruments)} "
+                f"collectors={len(self._collectors)}>")

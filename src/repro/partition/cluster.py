@@ -62,6 +62,8 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 from ..db.operations import Operation, OperationType, TransactionProgram
 from ..db.wal import LogRecord
 from ..network.lan import Lan
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import Observability
 from ..replication.cluster import TECHNIQUES, ReplicatedDatabaseCluster
 from ..replication.results import TransactionResult
 from ..sim.engine import Simulator
@@ -222,6 +224,11 @@ class PartitionedCluster:
         self.techniques = techniques
         self.strategy = strategy
         self.sim = sim or Simulator(seed=seed)
+        #: Labelled metrics registry of the whole cluster; the router, the
+        #: 2PC coordinator and the client drivers record onto it, and a
+        #: snapshot-time collector samples the pull-style sources (LAN, WAL,
+        #: buffers, controller).  See :mod:`repro.obs.metrics`.
+        self.metrics = MetricsRegistry()
         self.lan = Lan(self.sim, latency=self.params.network_latency)
         #: The live, epoch-versioned ownership map.
         self.routing: RoutingTable = RoutingTable.from_strategy(
@@ -233,7 +240,7 @@ class PartitionedCluster:
                 lan=self.lan, routing=routing,
                 name_prefix=f"p{partition_id}.")
             for partition_id, group_technique in enumerate(techniques)]
-        self.router = TransactionRouter(self.routing)
+        self.router = TransactionRouter(self.routing, metrics=self.metrics)
         self.workload = PartitionedWorkloadGenerator(
             self.sim, self.params, self.routing)
         self.coordinator = CrossPartitionCoordinator(self)
@@ -269,6 +276,59 @@ class PartitionedCluster:
         #: trail the failure-matrix experiments attach to their report.
         self.crash_log: List[CrashEvent] = []
         self._started = False
+        self.metrics.register_collector(self._collect_metrics)
+
+    # ------------------------------------------------------------------ observability
+    def enable_observability(self) -> Observability:
+        """Attach (or return) the span tracer on this cluster's simulator.
+
+        Idempotent.  Tracing is observation-only — spans read the simulated
+        clock and append to Python lists — so enabling it cannot change the
+        event schedule (the golden-trace digests hold with tracing on).
+        """
+        if self.sim.obs is None:
+            Observability(self.sim)
+        return self.sim.obs
+
+    def _collect_metrics(self, registry: MetricsRegistry) -> None:
+        """Snapshot-time sampler for the pull-style counter sources."""
+        registry.gauge("routing_epoch", component="routing").set(
+            getattr(self.routing, "epoch", 0))
+        lan = registry.gauge
+        lan("lan_messages", component="lan", kind="sent").set(
+            self.lan.sent_count)
+        lan("lan_messages", component="lan", kind="delivered").set(
+            self.lan.delivered_count)
+        lan("lan_messages", component="lan", kind="dropped").set(
+            self.lan.dropped_count)
+        for partition_id, group in enumerate(self.groups):
+            technique = self.techniques[partition_id]
+            for server in group.server_names():
+                database = group.database(server)
+                labels = dict(shard=partition_id, server=server,
+                              technique=technique)
+                registry.gauge("db_committed", **labels).set(
+                    database.committed_count)
+                registry.gauge("db_aborted", **labels).set(
+                    database.aborted_count)
+                registry.gauge("wal_flushes", **labels).set(
+                    database.wal.flush_count)
+                registry.gauge("buffer_reads", kind="hit", **labels).set(
+                    database.buffer.read_hits)
+                registry.gauge("buffer_reads", kind="miss", **labels).set(
+                    database.buffer.read_misses)
+        controller = self.controller
+        if controller is not None:
+            stats = controller.stats
+            for field in ("windows_observed", "rebalances_triggered",
+                          "skipped_below_threshold", "skipped_cooldown",
+                          "skipped_hysteresis", "skipped_migration_active",
+                          "trigger_failures"):
+                registry.gauge(f"controller_{field}",
+                               component="controller").set(
+                    getattr(stats, field))
+        for phase, count in self.failpoints_fired.items():
+            registry.gauge("failpoints_fired", phase=phase).set(count)
 
     # ------------------------------------------------------------------ access
     @property
@@ -431,6 +491,11 @@ class PartitionedCluster:
         snapshot = self.router.snapshot()
         partitions = self.router.classify(program, snapshot=snapshot,
                                           keys=keys)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.instant("router.classify", track="router",
+                        labels={"partitions": len(partitions),
+                                "epoch": getattr(snapshot, "epoch", 0)})
         if len(partitions) == 1:
             group = self.groups[partitions[0]]
             if not any(node.is_up for node in group.nodes.values()):
@@ -711,6 +776,14 @@ class PartitionedCluster:
         report = entry.report
         source = self.groups[entry.source_group]
         fenced = False
+        obs = self.sim.obs
+        root_span = copy_span = fence_span = None
+        if obs is not None:
+            root_span = obs.begin(
+                "migration", category="txn", track="migration", root=True,
+                labels={"source": entry.source_group,
+                        "destination": entry.destination_group,
+                        "range": repr(entry.key_range)})
         try:
             # -- phase 1: warm copy (dual-write forwarding already active) --
             # Up to copy_concurrency chunk transactions run in flight at
@@ -731,6 +804,10 @@ class PartitionedCluster:
             failure: Optional[str] = None
             tokens = float(copy_concurrency)
             refilled_at = self.sim.now
+            if obs is not None:
+                copy_span = obs.begin("migration.copy", category="protocol",
+                                      track="migration", parent=root_span,
+                                      labels={"keys": len(keys)})
             self.fire_failpoint("migration.copy-start", report=report)
 
             def refill(tokens: float, refilled_at: float):
@@ -773,11 +850,17 @@ class PartitionedCluster:
                     process.kill()
                 return self._abort_migration(entry, failure, fenced)
             report.copy_completed_at = self.sim.now
+            if obs is not None:
+                obs.end(copy_span)
+                copy_span = None
 
             # -- phase 2: fence the range and drain in-flight writers -------
             self.routing.fence(entry.key_range)
             fenced = True
             report.fence_started_at = self.sim.now
+            if obs is not None:
+                fence_span = obs.begin("migration.fence", category="protocol",
+                                       track="migration", parent=root_span)
             self.fire_failpoint("migration.fence", report=report)
             drained = yield from self._drain_range(
                 entry, deadline=self.sim.now + fence_timeout)
@@ -831,6 +914,9 @@ class PartitionedCluster:
                     break
             self.fire_failpoint("migration.epoch-logged", report=report,
                                 epoch=payload["epoch"])
+            if obs is not None:
+                obs.instant("migration.epoch-logged", track="migration",
+                            labels={"epoch": payload["epoch"]})
             if source.up_servers():
                 # Advisory copy on the old owner (flushed with its next
                 # group commit); recovery takes the max epoch anywhere.
@@ -838,6 +924,9 @@ class PartitionedCluster:
                     payload["epoch"], payload)
             self.routing.unfence(entry.key_range)
             fenced = False
+            if obs is not None:
+                obs.end(fence_span)
+                fence_span = None
             report.epoch = self.routing.migrate(entry.key_range,
                                                 entry.destination_group)
             report.completed_at = self.sim.now
@@ -845,6 +934,17 @@ class PartitionedCluster:
         finally:
             if fenced:
                 self.routing.unfence(entry.key_range)
+            if obs is not None:
+                # An aborted or crashed driver leaves phase spans open; close
+                # them here so the exported trace never dangles (obs.end is
+                # idempotent, so the success path above is unaffected).
+                if copy_span is not None:
+                    obs.end(copy_span)
+                if fence_span is not None:
+                    obs.end(fence_span)
+                obs.end(root_span,
+                        labels={"aborted": report.aborted,
+                                "abort_reason": report.abort_reason or ""})
             entry.active = False
             if entry in self._migrations:
                 self._migrations.remove(entry)
@@ -978,12 +1078,20 @@ class PartitionedCluster:
         self.crash_log.append(CrashEvent(at=self.sim.now, kind="crash",
                                          partition_id=partition_id,
                                          server=server))
+        obs = self.sim.obs
+        if obs is not None:
+            obs.instant("crash.server", track="faults",
+                        labels={"partition": partition_id, "server": server})
         self.groups[partition_id].crash_server(server)
 
     def crash_partition(self, partition_id: int) -> None:
         """Crash every server of one partition (shard-wide outage)."""
         self.crash_log.append(CrashEvent(at=self.sim.now, kind="crash",
                                          partition_id=partition_id))
+        obs = self.sim.obs
+        if obs is not None:
+            obs.instant("crash.partition", track="faults",
+                        labels={"partition": partition_id})
         self.groups[partition_id].crash_all()
 
     def recover_server(self, partition_id: int, server: str) -> Process:
@@ -997,6 +1105,10 @@ class PartitionedCluster:
         self.crash_log.append(CrashEvent(at=self.sim.now, kind="recover",
                                          partition_id=partition_id,
                                          server=server))
+        obs = self.sim.obs
+        if obs is not None:
+            obs.instant("recover.server", track="faults",
+                        labels={"partition": partition_id, "server": server})
         group_recovery = self.groups[partition_id].recover_server(server)
 
         def recovery():

@@ -177,30 +177,43 @@ class RebalanceController:
                 return True
         return False
 
+    def _skip(self, obs, reason: str) -> None:
+        """Mark one declined window on the span tracer, if attached."""
+        if obs is not None:
+            obs.instant("controller.skip", track="controller",
+                        labels={"window": self._window, "reason": reason})
+
     def _evaluate(self) -> None:
         cluster = self.cluster
+        obs = self.sim.obs
         if cluster.partition_count < 2:
             self.stats.skipped_below_threshold += 1
+            self._skip(obs, "single-partition")
             return
         if cluster.migration_active:
             self.stats.skipped_migration_active += 1
+            self._skip(obs, "migration-active")
             return
         if self._in_cooldown():
             self.stats.skipped_cooldown += 1
+            self._skip(obs, "cooldown")
             return
         totals = cluster.routing.shard_accesses()
         observed = sum(totals)
         if observed < self.min_window_accesses:
             self.stats.skipped_below_threshold += 1
+            self._skip(obs, "below-threshold")
             return
         hottest = max(range(len(totals)), key=totals.__getitem__)
         share = totals[hottest] / observed
         if share <= self.share_threshold:
             self.stats.skipped_below_threshold += 1
+            self._skip(obs, "below-threshold")
             return
         hot_range = cluster.routing.range_of(hottest)
         if self._recently_moved(hot_range):
             self.stats.skipped_hysteresis += 1
+            self._skip(obs, "hysteresis")
             return
         try:
             cluster.rebalance(shard=hottest,
@@ -210,11 +223,17 @@ class RebalanceController:
         except (ValueError, RuntimeError):
             # No legal destination / a migration raced us; try again later.
             self.stats.trigger_failures += 1
+            self._skip(obs, "trigger-failed")
             return
         self.stats.rebalances_triggered += 1
         self._last_trigger_window = self._window
         moved = cluster.migration_reports[-1].key_range
         self.stats.moves.append((self._window, moved))
+        if obs is not None:
+            obs.instant("controller.rebalance", track="controller",
+                        labels={"window": self._window, "shard": hottest,
+                                "share": round(share, 4),
+                                "range": repr(moved)})
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (f"<RebalanceController window={self.window_ms}ms "

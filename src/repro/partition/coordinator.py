@@ -72,6 +72,7 @@ from typing import Dict, List, Optional, Tuple
 from ..db.operations import Operation, OperationType, TransactionProgram
 from ..db.transaction import Transaction
 from ..db.wal import LogRecordType
+from ..obs.metrics import MetricsRegistry
 from ..sim.events import Event
 
 #: Abort reasons the coordinator can produce.
@@ -168,19 +169,26 @@ class CrossPartitionCoordinator:
         self._ids = itertools.count(1)
         #: Every cross-partition outcome produced so far, in response order.
         self.outcomes: List[CrossPartitionOutcome] = []
-        #: Statistics.
-        self.committed_count = 0
-        self.aborted_count = 0
-        self.validation_aborts = 0
-        self.timeout_aborts = 0
-        self.unavailable_aborts = 0
-        self.wrong_epoch_aborts = 0
-        #: Durable decisions found on recovery whose client was already
-        #: answered with an abort (the flush outran the bounded decision
-        #: wait); reconciled in favour of the abort.
-        self.orphan_decisions = 0
-        #: Number of decided branches currently blocked on a crashed group.
-        self.in_doubt_branches = 0
+        # Statistics live on the cluster's metrics registry (a private one
+        # when the coordinator is built against a bare test double); the
+        # properties below keep the historical attribute API.
+        metrics = getattr(cluster, "metrics", None)
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        self._committed = metrics.counter("xp_terminated", component="2pc",
+                                          outcome="committed")
+        self._aborted = metrics.counter("xp_terminated", component="2pc",
+                                        outcome="aborted")
+        self._abort_reasons = {
+            reason: metrics.counter("xp_aborts", component="2pc",
+                                    reason=reason.replace("xpartition-", ""))
+            for reason in (ABORT_VALIDATION, ABORT_TIMEOUT,
+                           ABORT_UNAVAILABLE, ABORT_WRONG_EPOCH)}
+        self._orphan_decisions = metrics.counter("xp_orphan_decisions",
+                                                 component="2pc")
+        self._in_doubt = metrics.gauge("xp_in_doubt_branches",
+                                       component="2pc")
         #: Transaction ids of every committed phase-2 branch install, so the
         #: cluster can separate internal 2PC work from client fast-path
         #: results.
@@ -195,6 +203,49 @@ class CrossPartitionCoordinator:
         self.decided_pending: Dict[str, _PendingDecision] = {}
         self._orphan_xids: set = set()
 
+    # ------------------------------------------------------------------ statistics
+    @property
+    def committed_count(self) -> int:
+        """Cross-partition transactions that committed on every branch."""
+        return self._committed.value
+
+    @property
+    def aborted_count(self) -> int:
+        """Cross-partition transactions that aborted."""
+        return self._aborted.value
+
+    @property
+    def validation_aborts(self) -> int:
+        """Aborts due to version validation at vote collection."""
+        return self._abort_reasons[ABORT_VALIDATION].value
+
+    @property
+    def timeout_aborts(self) -> int:
+        """Aborts due to a prepare (or decision-flush) timeout."""
+        return self._abort_reasons[ABORT_TIMEOUT].value
+
+    @property
+    def unavailable_aborts(self) -> int:
+        """Aborts because a whole branch group was unreachable."""
+        return self._abort_reasons[ABORT_UNAVAILABLE].value
+
+    @property
+    def wrong_epoch_aborts(self) -> int:
+        """Aborts because routing moved under the transaction."""
+        return self._abort_reasons[ABORT_WRONG_EPOCH].value
+
+    @property
+    def orphan_decisions(self) -> int:
+        """Durable decisions found on recovery whose client was already
+        answered with an abort (the flush outran the bounded decision wait);
+        reconciled in favour of the abort."""
+        return self._orphan_decisions.value
+
+    @property
+    def in_doubt_branches(self) -> int:
+        """Number of decided branches currently blocked on a crashed group."""
+        return self._in_doubt.value
+
     # ------------------------------------------------------------------ submission
     def submit(self, program: TransactionProgram, client_index: int = 0,
                snapshot=None) -> Event:
@@ -207,6 +258,14 @@ class CrossPartitionCoordinator:
         xid = f"xp-{next(self._ids)}"
         if snapshot is None:
             snapshot = self.cluster.router.snapshot()
+        obs = self.sim.obs
+        if obs is not None:
+            # Root of the 2PC span tree; _run spawns with zero delay, so the
+            # root's start equals the outcome's submitted_at and its duration
+            # equals the client-observed response time exactly.
+            obs.begin("2pc", category="txn", track="coordinator",
+                      key=("xp", xid), root=True,
+                      labels={"txn_id": xid, "client": program.client})
         self.sim.spawn(self._run(program, xid, response_event, client_index,
                                  snapshot),
                        name=f"xp.coordinator.{xid}")
@@ -293,6 +352,13 @@ class CrossPartitionCoordinator:
                 branch_outcome.voted_yes = False
                 branch_outcome.abort_reason = ABORT_WRONG_EPOCH
 
+        obs = self.sim.obs
+        if obs is not None:
+            obs.instant("2pc.vote", track="coordinator",
+                        labels={"xid": xid,
+                                "all_yes": all(branch.voted_yes
+                                               for branch in outcome.branches),
+                                "partitions": len(partitions)})
         all_yes = all(branch.voted_yes for branch in outcome.branches)
         if not all_yes:
             if timed_out:
@@ -324,11 +390,21 @@ class CrossPartitionCoordinator:
         self.active_installs[xid] = frozenset(
             key for transaction in transactions.values()
             for key in transaction.write_values)
+        decision_span = None
+        if obs is not None:
+            decision_span = obs.begin("2pc.decision-log", category="disk",
+                                      track="coordinator",
+                                      parent=("xp", xid),
+                                      labels={"home": delegates[home]})
         decision_process = self.sim.spawn(
             self._log_decision(home_db, xid),
             name=f"xp.decision.{xid}")
         yield self.sim.any_of(
             [decision_process, self.sim.timeout(self.prepare_timeout)])
+        if decision_span is not None:
+            obs.end(decision_span,
+                    labels={"durable": decision_process.triggered
+                            and decision_process.value is True})
         if not decision_process.triggered or decision_process.value is not True:
             self._finish(outcome, ABORT_UNAVAILABLE, response_event)
             return
@@ -400,25 +476,40 @@ class CrossPartitionCoordinator:
     def _prepare(self, partition_id: int, delegate: str,
                  branch: TransactionProgram, xid: str):
         """Generator: execute the branch's read phase on its delegate."""
-        group = self.cluster.group(partition_id)
-        if not group.node(delegate).is_up:
-            return None
-        database = group.database(delegate)
-        transaction = database.begin(branch, delegate=delegate,
-                                     txn_id=f"{xid}.p{partition_id}")
+        obs = self.sim.obs
+        span = None
+        if obs is not None:
+            # Also registered under the branch's transaction id so the
+            # delegate-side db.read spans nest under the prepare span.
+            span = obs.begin("2pc.prepare", category="protocol",
+                             track="coordinator", parent=("xp", xid),
+                             key=("txn", f"{xid}.p{partition_id}"),
+                             labels={"partition": partition_id,
+                                     "delegate": delegate})
         try:
-            for operation in branch.operations:
-                if operation.is_read:
-                    yield from database.read(transaction, operation.key,
-                                             use_lock=False)
-                else:
-                    database.stage_write(transaction, operation.key,
-                                         operation.value)
-        except Exception:
-            # Any local failure during prepare is simply a no-vote; raising
-            # here would tear down the coordinator instead of aborting.
-            return None
-        return transaction
+            group = self.cluster.group(partition_id)
+            if not group.node(delegate).is_up:
+                return None
+            database = group.database(delegate)
+            transaction = database.begin(branch, delegate=delegate,
+                                         txn_id=f"{xid}.p{partition_id}")
+            try:
+                for operation in branch.operations:
+                    if operation.is_read:
+                        yield from database.read(transaction, operation.key,
+                                                 use_lock=False)
+                    else:
+                        database.stage_write(transaction, operation.key,
+                                             operation.value)
+            except Exception:
+                # Any local failure during prepare is simply a no-vote;
+                # raising here would tear down the coordinator instead of
+                # aborting.
+                return None
+            return transaction
+        finally:
+            if span is not None:
+                obs.end(span)
 
     def _commit_branch(self, partition_id: int, delegate: str,
                        transaction: Transaction, xid: str,
@@ -448,6 +539,25 @@ class CrossPartitionCoordinator:
             for key, value in transaction.write_values.items())
         server = delegate
         attempt = 0
+        obs = self.sim.obs
+        span = None
+        if obs is not None:
+            span = obs.begin("2pc.commit-branch", category="protocol",
+                             track="coordinator", parent=("xp", xid),
+                             labels={"partition": partition_id})
+        try:
+            yield from self._drive_branch(
+                group, partition_id, server, write_operations, transaction,
+                xid, branch_outcome, home_node, attempt)
+        finally:
+            if span is not None:
+                obs.end(span, labels={"committed": branch_outcome.committed,
+                                      "in_doubt": branch_outcome.in_doubt})
+
+    def _drive_branch(self, group, partition_id: int, server: str,
+                      write_operations, transaction: Transaction, xid: str,
+                      branch_outcome: BranchOutcome, home_node, attempt: int):
+        """Generator: the retry loop of :meth:`_commit_branch`."""
         while True:
             if home_node is not None:
                 pending = self.decided_pending.get(xid)
@@ -468,13 +578,13 @@ class CrossPartitionCoordinator:
                     # member comes back.
                     if not branch_outcome.in_doubt:
                         branch_outcome.in_doubt = True
-                        self.in_doubt_branches += 1
+                        self._in_doubt.inc()
                     yield self.sim.timeout(backoff)
                     continue
                 server = up_servers[0]
             if branch_outcome.in_doubt:
                 branch_outcome.in_doubt = False
-                self.in_doubt_branches -= 1
+                self._in_doubt.dec()
             program = TransactionProgram(operations=write_operations,
                                          client=f"xp.{xid}")
             try:
@@ -518,7 +628,7 @@ class CrossPartitionCoordinator:
                 if (outcome is not None and not outcome.committed
                         and xid not in self._orphan_xids):
                     self._orphan_xids.add(xid)
-                    self.orphan_decisions += 1
+                    self._orphan_decisions.inc()
                 continue
             if pending.resuming:
                 continue
@@ -559,17 +669,17 @@ class CrossPartitionCoordinator:
         outcome.responded_at = self.sim.now
         self.outcomes.append(outcome)
         if outcome.committed:
-            self.committed_count += 1
+            self._committed.inc()
         else:
-            self.aborted_count += 1
-            if reason == ABORT_VALIDATION:
-                self.validation_aborts += 1
-            elif reason == ABORT_TIMEOUT:
-                self.timeout_aborts += 1
-            elif reason == ABORT_UNAVAILABLE:
-                self.unavailable_aborts += 1
-            elif reason == ABORT_WRONG_EPOCH:
-                self.wrong_epoch_aborts += 1
+            self._aborted.inc()
+            reason_counter = self._abort_reasons.get(reason)
+            if reason_counter is not None:
+                reason_counter.inc()
+        obs = self.sim.obs
+        if obs is not None:
+            obs.end_key(("xp", outcome.xid),
+                        labels={"committed": outcome.committed,
+                                "abort_reason": outcome.abort_reason or ""})
         if not response_event.triggered:
             response_event.succeed(outcome)
 

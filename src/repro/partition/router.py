@@ -27,25 +27,55 @@ routing table that never changes epoch.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from ..db.operations import TransactionProgram
+from ..obs.metrics import MetricsRegistry
 from .routing import snapshot_of
 
 
 class TransactionRouter:
     """Classify and split programs by the groups their keys live on."""
 
-    def __init__(self, routing) -> None:
+    def __init__(self, routing,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         #: The live ownership map: a RoutingTable, or a legacy Partitioner
         #: (whose "snapshot" is itself and whose epoch is forever 0).
         self.routing = routing
-        #: Statistics: how many programs were classified each way.
-        self.single_partition_count = 0
-        self.cross_partition_count = 0
-        #: How many submissions were re-routed after ownership moved under
-        #: them (fenced range at submit, or a wrong-epoch 2PC abort).
-        self.wrong_epoch_retries = 0
+        # Routing statistics live on the metrics registry (the cluster's when
+        # embedded, a private one when the router is used standalone); the
+        # properties below keep the historical attribute API.
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        self._single = metrics.counter("router_classified",
+                                       component="router", kind="single")
+        self._cross = metrics.counter("router_classified",
+                                      component="router", kind="cross")
+        self._retries = metrics.counter("router_wrong_epoch_retries",
+                                        component="router")
+
+    @property
+    def single_partition_count(self) -> int:
+        """Programs classified as single-partition."""
+        return self._single.value
+
+    @property
+    def cross_partition_count(self) -> int:
+        """Programs classified as cross-partition."""
+        return self._cross.value
+
+    @property
+    def wrong_epoch_retries(self) -> int:
+        """Submissions re-routed after ownership moved under them (fenced
+        range at submit, or a wrong-epoch 2PC abort)."""
+        return self._retries.value
+
+    @wrong_epoch_retries.setter
+    def wrong_epoch_retries(self, value: int) -> None:
+        # The retry loop in ``cluster.submit_retrying`` increments this
+        # attribute directly; route the write to the counter.
+        self._retries.value = value
 
     @property
     def partitioner(self):
@@ -80,9 +110,9 @@ class TransactionRouter:
         """Like :meth:`partitions_of`, but also updates the routing counters."""
         partitions = self.partitions_of(program, snapshot=snapshot, keys=keys)
         if len(partitions) == 1:
-            self.single_partition_count += 1
+            self._single.inc()
         else:
-            self.cross_partition_count += 1
+            self._cross.inc()
         return partitions
 
     # -- epoch validation ---------------------------------------------------------------

@@ -15,8 +15,9 @@ and the migration reports themselves.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
+from ..core.stats import percentile as _shared_percentile
 from ..replication.results import RunStatistics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -68,6 +69,12 @@ class PartitionedRunStatistics:
     injected_crashes: List["CrashEvent"] = field(default_factory=list)
     #: Failpoint phases that fired during the run, with counts.
     failpoints_fired: Dict[str, int] = field(default_factory=dict)
+    #: Serialised metrics-registry snapshot (``cluster.metrics.snapshot()``),
+    #: or None for clusters without a registry.
+    metrics: Optional[List[Dict[str, Any]]] = None
+    #: The span tracer attached to the run's simulator (None when tracing was
+    #: off), so experiment CLIs can export traces after collection.
+    obs: Optional[Any] = field(default=None, repr=False)
 
     # -- aggregates ---------------------------------------------------------------------
     @property
@@ -115,8 +122,7 @@ class PartitionedRunStatistics:
 
     def percentile(self, fraction: float) -> float:
         """Response-time percentile over both populations combined."""
-        return RunStatistics(
-            "merged", response_times=self.response_times).percentile(fraction)
+        return _shared_percentile(self.response_times, fraction)
 
 
 def collect_statistics(clients: "_PartitionedClientBase",
@@ -156,6 +162,10 @@ def collect_statistics(clients: "_PartitionedClientBase",
     stats.windows_rolled = getattr(cluster.routing, "windows_rolled", 0)
     stats.injected_crashes = list(getattr(cluster, "crash_log", ()))
     stats.failpoints_fired = dict(getattr(cluster, "failpoints_fired", {}))
+    metrics = getattr(cluster, "metrics", None)
+    if metrics is not None:
+        stats.metrics = metrics.snapshot()
+    stats.obs = getattr(cluster.sim, "obs", None)
     return stats
 
 

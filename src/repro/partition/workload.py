@@ -271,6 +271,12 @@ class _PartitionedClientBase:
         if outcome.committed:
             epoch = getattr(self.cluster.routing, "epoch", 0)
             self.epoch_commits[epoch] = self.epoch_commits.get(epoch, 0) + 1
+            metrics = getattr(self.cluster, "metrics", None)
+            if metrics is not None:
+                kind = ("cross" if isinstance(outcome, CrossPartitionOutcome)
+                        else "single")
+                metrics.histogram("response_time_ms", kind=kind).observe(
+                    outcome.response_time)
         if submitted_at < self.warmup:
             self.warmup_count += 1
             if isinstance(outcome, CrossPartitionOutcome):

@@ -96,6 +96,7 @@ class ReplicaServer:
 
     def _fail_pending(self, reason: str) -> None:
         """Answer every waiting client with an abort when the server crashes."""
+        obs = self.sim.obs
         for pending in list(self._pending.values()):
             if pending.responded:
                 continue
@@ -106,6 +107,10 @@ class ReplicaServer:
                 responded_at=self.sim.now, abort_reason=reason,
                 technique=self.technique_name)
             self.results.append(result)
+            if obs is not None:
+                obs.end_key(("txn", result.txn_id),
+                            labels={"committed": False,
+                                    "abort_reason": reason})
             if not pending.response_event.triggered:
                 pending.response_event.succeed(result)
         self._pending.clear()
@@ -127,6 +132,17 @@ class ReplicaServer:
                                     response_event=response_event,
                                     submitted_at=self.sim.now)
         self._pending[transaction.txn_id] = pending
+        obs = self.sim.obs
+        if obs is not None:
+            # The root of the transaction's span tree; children (reads, the
+            # abcast order span, apply/log work) link to it by this key.  It
+            # shares both endpoints with the PendingSubmission timestamps, so
+            # its duration equals the client-visible response time exactly.
+            obs.begin("txn", category="txn", track=f"server.{self.name}",
+                      key=("txn", transaction.txn_id), root=True,
+                      labels={"txn_id": transaction.txn_id,
+                              "delegate": self.name,
+                              "technique": self.technique_name})
         self.node.spawn(self._execute(pending), name=f"txn.{transaction.txn_id}")
         return response_event
 
@@ -158,6 +174,11 @@ class ReplicaServer:
         pending.transaction.response_time = result.response_time
         self.results.append(result)
         del self._pending[txn_id]
+        obs = self.sim.obs
+        if obs is not None:
+            obs.end_key(("txn", txn_id),
+                        labels={"committed": committed,
+                                "abort_reason": abort_reason or ""})
         if not pending.response_event.triggered:
             pending.response_event.succeed(result)
         return result

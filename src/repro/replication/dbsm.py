@@ -115,6 +115,14 @@ class DatabaseStateMachineReplica(ReplicaServer):
         transaction.broadcast_time = self.sim.now
         payload = transaction.certification_payload()
         self.endpoint.broadcast(payload)
+        obs = self.sim.obs
+        if obs is not None:
+            # Broadcast-to-delivery of the total order; ended by the
+            # *delegate's* certifier when the decision arrives back.
+            obs.begin("abcast.order", category="network",
+                      track=f"server.{self.name}",
+                      parent=("txn", transaction.txn_id),
+                      key=("order", transaction.txn_id))
         # The response is produced by the certifier when the transaction is
         # delivered back in total order.
 
@@ -150,6 +158,12 @@ class DatabaseStateMachineReplica(ReplicaServer):
                        commit_order: int) -> None:
         is_delegate = payload.delegate == self.name
         transaction = self.pending_transaction(payload.txn_id)
+        if is_delegate:
+            obs = self.sim.obs
+            if obs is not None:
+                # Only the delegate ends the order span: every server's
+                # certifier sees this delivery, at different times.
+                obs.end_key(("order", payload.txn_id))
 
         if self.mode is SafetyMode.GROUP_SAFE and is_delegate:
             # Fig. 8: answer as soon as the decision is known; disk writes
@@ -167,10 +181,24 @@ class DatabaseStateMachineReplica(ReplicaServer):
                commit_order: int, is_delegate: bool, transaction):
         """Apply the certified write set and log the decision."""
         synchronous = self.mode.synchronous_disk_writes
-        yield from self.db.apply_physical_writes(payload.write_set,
-                                                 synchronous=synchronous)
-        yield from self.db.log_commit(payload, commit_order,
-                                      synchronous=synchronous)
+        obs = self.sim.obs
+        span = None
+        if obs is not None and is_delegate:
+            # Delegate-side apply + commit logging.  For the modes that
+            # respond after logging this sits on the commit critical path;
+            # for group-safe it falls outside the root span and is clipped.
+            span = obs.begin("dbsm.apply", category="disk",
+                             track=f"server.{self.name}",
+                             parent=("txn", payload.txn_id),
+                             labels={"synchronous": synchronous})
+        try:
+            yield from self.db.apply_physical_writes(payload.write_set,
+                                                     synchronous=synchronous)
+            yield from self.db.log_commit(payload, commit_order,
+                                          synchronous=synchronous)
+        finally:
+            if span is not None:
+                obs.end(span)
         self.endpoint.acknowledge(delivery)
         if transaction is not None:
             self.db.finalize_commit(transaction, commit_order)
@@ -189,6 +217,10 @@ class DatabaseStateMachineReplica(ReplicaServer):
                          commit_order=commit_order)
 
     def _handle_abort(self, payload: WriteSetMessage, delivery: Delivery) -> None:
+        if payload.delegate == self.name:
+            obs = self.sim.obs
+            if obs is not None:
+                obs.end_key(("order", payload.txn_id))
         transaction = self.pending_transaction(payload.txn_id)
         if transaction is not None:
             self.db.finalize_abort(transaction, "certification")

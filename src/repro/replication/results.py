@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..core.stats import percentile as _shared_percentile
+
 
 @dataclass
 class TransactionResult:
@@ -100,16 +102,4 @@ class RunStatistics:
 
         ``fraction`` must lie in ``[0, 1]``; an empty sample yields 0.0.
         """
-        if not 0.0 <= fraction <= 1.0:
-            raise ValueError(
-                f"percentile fraction must be in [0, 1], got {fraction!r}")
-        if not self.response_times:
-            return 0.0
-        ordered = sorted(self.response_times)
-        if len(ordered) == 1:
-            return ordered[0]
-        position = fraction * (len(ordered) - 1)
-        lower = int(position)
-        upper = min(lower + 1, len(ordered) - 1)
-        weight = position - lower
-        return ordered[lower] * (1 - weight) + ordered[upper] * weight
+        return _shared_percentile(self.response_times, fraction)

@@ -60,6 +60,10 @@ class Simulator:
         self.metadata: dict = {}
         #: Optional event-trace sink (see :meth:`enable_trace`).
         self._trace: Optional[list] = None
+        #: Optional span tracer (see :class:`repro.obs.tracer.Observability`).
+        #: ``None`` when observability is off; instrumentation sites guard on
+        #: that, so the disabled cost is one attribute load and a None check.
+        self.obs: Optional[Any] = None
 
     # -- clock --------------------------------------------------------------
     @property

@@ -20,6 +20,8 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence
 
+from ..core.stats import percentile as _shared_percentile
+
 
 class Tally:
     """Accumulates scalar observations and computes summary statistics."""
@@ -42,9 +44,13 @@ class Tally:
         """Number of observations recorded."""
         return len(self._values)
 
-    @property
-    def values(self) -> List[float]:
-        """A copy of all recorded observations, in arrival order."""
+    def snapshot(self) -> List[float]:
+        """A copy of all recorded observations, in arrival order.
+
+        Deliberately a method, not a property: the copy is O(n), and a
+        property made it too easy to pay that cost by accident on a hot
+        path (``tally.values`` looked free).
+        """
         return list(self._values)
 
     @property
@@ -79,21 +85,13 @@ class Tally:
         return max(self._values) if self._values else 0.0
 
     def percentile(self, fraction: float) -> float:
-        """Return the ``fraction`` percentile using linear interpolation."""
-        if not 0.0 <= fraction <= 1.0:
-            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
-        if not self._values:
-            return 0.0
-        ordered = sorted(self._values)
-        if len(ordered) == 1:
-            return ordered[0]
-        position = fraction * (len(ordered) - 1)
-        lower = int(math.floor(position))
-        upper = int(math.ceil(position))
-        if lower == upper:
-            return ordered[lower]
-        weight = position - lower
-        return ordered[lower] * (1 - weight) + ordered[upper] * weight
+        """Return the ``fraction`` percentile using linear interpolation.
+
+        Delegates to :func:`repro.core.stats.percentile` — the one shared
+        implementation (empty sample -> 0.0, fraction outside [0, 1] ->
+        ``ValueError``).
+        """
+        return _shared_percentile(self._values, fraction)
 
     def summary(self) -> Dict[str, float]:
         """Return a dictionary of the main statistics."""
