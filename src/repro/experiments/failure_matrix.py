@@ -62,30 +62,46 @@ _PATTERNS = (
 )
 
 
+def _matrix_cell(cell) -> MatrixEntry:
+    """Run one (technique, crash pattern) cell — module-level so a process
+    pool can pickle it; each cell is an independent simulation."""
+    technique, pattern, freeze, seed, params = cell
+    level = safety_of_technique(technique)
+    outcome = run_crash_scenario(technique, crash_pattern=pattern,
+                                 seed=seed, params=params,
+                                 freeze_non_delegates=freeze)
+    predicted = loss_condition(level, outcome.group_failed,
+                               outcome.delegate_crashed)
+    return MatrixEntry(
+        technique=technique, level=level, crash_pattern=pattern,
+        group_failed=outcome.group_failed,
+        delegate_crashed=outcome.delegate_crashed,
+        predicted_possible_loss=predicted,
+        observed_loss=outcome.transaction_lost,
+        outcome=outcome)
+
+
 def run_failure_matrix(techniques: Optional[List[str]] = None,
                        seed: int = 1,
-                       params: Optional[SimulationParameters] = None
-                       ) -> List[MatrixEntry]:
-    """Run every (technique, crash pattern) scenario and collect the matrix."""
+                       params: Optional[SimulationParameters] = None,
+                       workers: int = 1) -> List[MatrixEntry]:
+    """Run every (technique, crash pattern) scenario and collect the matrix.
+
+    With ``workers > 1`` the cells fan out over a process pool; the entry
+    list keeps the serial (technique-major) order either way, because
+    ``Pool.map`` returns results in submission order regardless of which
+    worker finished first.
+    """
     chosen = techniques or ["0-safe", "1-safe", "group-safe", "group-1-safe",
                             "2-safe"]
-    entries: List[MatrixEntry] = []
-    for technique in chosen:
-        level = safety_of_technique(technique)
-        for pattern, freeze in _PATTERNS:
-            outcome = run_crash_scenario(technique, crash_pattern=pattern,
-                                         seed=seed, params=params,
-                                         freeze_non_delegates=freeze)
-            predicted = loss_condition(level, outcome.group_failed,
-                                       outcome.delegate_crashed)
-            entries.append(MatrixEntry(
-                technique=technique, level=level, crash_pattern=pattern,
-                group_failed=outcome.group_failed,
-                delegate_crashed=outcome.delegate_crashed,
-                predicted_possible_loss=predicted,
-                observed_loss=outcome.transaction_lost,
-                outcome=outcome))
-    return entries
+    cells = [(technique, pattern, freeze, seed, params)
+             for technique in chosen
+             for pattern, freeze in _PATTERNS]
+    if workers > 1:
+        import multiprocessing
+        with multiprocessing.Pool(min(workers, len(cells))) as pool:
+            return pool.map(_matrix_cell, cells)
+    return [_matrix_cell(cell) for cell in cells]
 
 
 def soundness_violations(entries: List[MatrixEntry]) -> List[MatrixEntry]:
@@ -145,7 +161,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     def run(arguments):
         techniques = list(SMOKE_TECHNIQUES) if arguments.smoke else None
         entries = run_failure_matrix(techniques=techniques,
-                                     seed=arguments.seed)
+                                     seed=arguments.seed,
+                                     workers=arguments.workers)
         from .traced import maybe_write_scenario_trace
         maybe_write_scenario_trace(arguments.trace, seed=arguments.seed)
         return entries, render_matrix(entries)

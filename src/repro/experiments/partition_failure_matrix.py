@@ -579,11 +579,31 @@ def _run_migration_pattern(cluster: PartitionedCluster, technique: str,
 
 
 # --------------------------------------------------------------------------- the matrix
+def _matrix_cell(cell) -> PartitionedMatrixEntry:
+    """Run one (technique, shard count, crash pattern) cell — module-level
+    so a process pool can pickle it; each cell is an independent simulation."""
+    technique, pattern, shard_count, seed, params = cell
+    level = safety_of_technique(technique)
+    outcome = run_partitioned_crash_scenario(
+        technique, pattern, shard_count=shard_count, seed=seed,
+        params=params)
+    predicted = outcome.confirmed and partitioned_loss_condition(
+        (level, status.group_failed, status.delegate_crashed)
+        for status in outcome.audited_shards)
+    return PartitionedMatrixEntry(
+        technique=technique, level=level, shard_count=shard_count,
+        crash_pattern=pattern,
+        predicted_possible_loss=predicted,
+        observed_loss=outcome.transaction_lost,
+        outcome=outcome)
+
+
 def run_partitioned_failure_matrix(techniques: Optional[Sequence[str]] = None,
                                    patterns: Optional[Sequence[str]] = None,
                                    shard_count: int = 2, seed: int = 1,
                                    params: Optional[SimulationParameters]
-                                   = None
+                                   = None,
+                                   workers: int = 1
                                    ) -> List[PartitionedMatrixEntry]:
     """Run every (technique, shard count, crash pattern) cell of the matrix.
 
@@ -592,28 +612,24 @@ def run_partitioned_failure_matrix(techniques: Optional[Sequence[str]] = None,
     (:func:`~repro.core.matrix.partitioned_loss_condition`), guarded by the
     confirmation rule: a transaction that was never confirmed to its client
     cannot be *lost* in the sense of the paper, whatever happens to it.
+
+    With ``workers > 1`` the cells fan out over a process pool; the entry
+    list keeps the serial (technique-major) order either way, because
+    ``Pool.map`` returns results in submission order regardless of which
+    worker finished first.
     """
     chosen = list(techniques) if techniques is not None \
         else list(DEFAULT_TECHNIQUES)
     chosen_patterns = list(patterns) if patterns is not None \
         else list(PARTITIONED_CRASH_PATTERNS)
-    entries: List[PartitionedMatrixEntry] = []
-    for technique in chosen:
-        level = safety_of_technique(technique)
-        for pattern in chosen_patterns:
-            outcome = run_partitioned_crash_scenario(
-                technique, pattern, shard_count=shard_count, seed=seed,
-                params=params)
-            predicted = outcome.confirmed and partitioned_loss_condition(
-                (level, status.group_failed, status.delegate_crashed)
-                for status in outcome.audited_shards)
-            entries.append(PartitionedMatrixEntry(
-                technique=technique, level=level, shard_count=shard_count,
-                crash_pattern=pattern,
-                predicted_possible_loss=predicted,
-                observed_loss=outcome.transaction_lost,
-                outcome=outcome))
-    return entries
+    cells = [(technique, pattern, shard_count, seed, params)
+             for technique in chosen
+             for pattern in chosen_patterns]
+    if workers > 1:
+        import multiprocessing
+        with multiprocessing.Pool(min(workers, len(cells))) as pool:
+            return pool.map(_matrix_cell, cells)
+    return [_matrix_cell(cell) for cell in cells]
 
 
 def partitioned_soundness_violations(entries: Sequence[PartitionedMatrixEntry]
@@ -682,7 +698,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                       else DEFAULT_TECHNIQUES)
         entries = run_partitioned_failure_matrix(
             techniques=techniques, shard_count=arguments.shards,
-            seed=arguments.seed)
+            seed=arguments.seed, workers=arguments.workers)
         from .traced import maybe_write_scenario_trace
         maybe_write_scenario_trace(arguments.trace, seed=arguments.seed)
         return entries, render_partitioned_matrix(entries)

@@ -59,6 +59,10 @@ def matrix_cli(argv: Optional[List[str]], *, description: str,
     parser.add_argument("--smoke", action="store_true",
                         help="reduced technique set for CI")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="fan the matrix cells out over N worker "
+                             "processes (cells are independent simulations; "
+                             "report order stays deterministic)")
     parser.add_argument("--report-dir", default="benchmarks/benchmark_reports",
                         help="directory the matrix report is written to")
     for flag, keywords in extra_arguments:
