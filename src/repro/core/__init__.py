@@ -9,10 +9,14 @@
   audit: does a run actually provide the guarantee its technique claims?
 * :mod:`repro.core.reliability` — the Sect. 7 scaling analysis (lazy vs
   group-safe ACID-violation probability as the group grows).
+* :mod:`repro.core.layers` — the protocol-stack layer contracts
+  (``@implements`` / ``@uses``) the ``layer-contract`` lint rule enforces.
 """
 
 from .audit import (AuditReport, SafetyAudit, classify_result,
                     classify_results, weakest_guarantee)
+from .layers import (LAYER_ORDER, implemented_layers, implements, layer_index,
+                     used_layers, uses)
 from .criteria import (CRITERIA, TECHNIQUE_SAFETY, SafetyCriterion,
                        criterion_for, safety_of_technique)
 from .durability import (TransactionFate, committed_state_of,
@@ -63,4 +67,10 @@ __all__ = [
     "acid_violation_probability",
     "scaling_comparison",
     "ScalingPoint",
+    "LAYER_ORDER",
+    "layer_index",
+    "implements",
+    "uses",
+    "implemented_layers",
+    "used_layers",
 ]

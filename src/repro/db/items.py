@@ -96,6 +96,7 @@ class ItemStore:
         return len(self._items)
 
     def __iter__(self) -> Iterator[Item]:
+        # repro: allow(ordering-hazard): dict preserves creation order, which is the contract
         return iter(self._items.values())
 
     def keys(self) -> List[str]:

@@ -138,6 +138,7 @@ class LockManager:
         # FIFO fairness requires no earlier incompatible waiter (unless this
         # is an upgrade, which jumps the queue to avoid the classic upgrade
         # deadlock with queued X requests of the same transaction).
+        # repro: allow(ordering-hazard): all-must-be-compatible scan, order-free
         for mode in other_holders.values():
             if not _compatible(mode, request.mode):
                 return False
@@ -173,6 +174,7 @@ class LockManager:
     # -- deadlock detection -------------------------------------------------------------
     def _rebuild_waits_for(self) -> None:
         graph: Dict[str, Set[str]] = {}
+        # repro: allow(ordering-hazard): pure set-union aggregation, order-free
         for entry in self._table.values():
             for request in entry.queue:
                 blockers = {owner for owner, mode in entry.holders.items()
@@ -213,6 +215,7 @@ class LockManager:
 
     def _abort_waiter(self, owner: str) -> None:
         """Fail the pending request(s) of ``owner`` with a deadlock error."""
+        # repro: allow(ordering-hazard): per-entry removal is independent, order-free
         for entry in self._table.values():
             for request in list(entry.queue):
                 if request.owner == owner and not request.event.triggered:

@@ -64,11 +64,11 @@ class TestableTransactionRegistry:
         return False
 
     def committed_ids(self) -> List[str]:
-        """All transaction ids recorded as committed on this server."""
-        return [txn_id for txn_id in self._outcomes.keys()
+        """All committed transaction ids on this server, in sorted order."""
+        return [txn_id for txn_id in sorted(self._outcomes.keys())
                 if self.has_committed(txn_id)]
 
     def as_dict(self) -> Dict[str, str]:
         """Mapping txn id -> outcome, for audits and tests."""
         return {txn_id: self._outcomes.get(txn_id)["outcome"]
-                for txn_id in self._outcomes.keys()}
+                for txn_id in sorted(self._outcomes.keys())}

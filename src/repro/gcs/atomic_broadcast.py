@@ -33,6 +33,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from ..core.layers import implements, uses
 from ..network.dispatch import Dispatcher
 from ..network.lan import Lan
 from ..network.message import Message
@@ -40,6 +41,7 @@ from ..network.node import Node
 from ..sim.engine import Simulator
 from ..sim.events import Timeout
 from ..sim.resources import Store
+# repro: allow(layer-contract): views fused with the sequencer until the ROADMAP pluggable-stack decomposition
 from .membership import GroupMembership, View
 from .spec import BroadcastTrace, DeliveryRecord
 
@@ -63,6 +65,10 @@ class _PendingMessage:
     sender: str
 
 
+@implements("total_order")
+@uses("links")
+# repro: allow(layer-contract): sequencer consumes views/quorums directly; debt until the stack decomposition (ROADMAP)
+@uses("membership")
 class AtomicBroadcastEndpoint:
     """The group-communication component of one server (classical abcast)."""
 

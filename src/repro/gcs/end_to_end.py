@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from ..core.layers import implements, uses
 from ..network.dispatch import Dispatcher
 from ..network.lan import Lan
 from ..network.message import Message
@@ -31,11 +32,14 @@ from ..network.node import Node
 from ..sim.engine import Simulator
 from ..sim.resources import Store
 from .atomic_broadcast import AtomicBroadcastEndpoint, Delivery, _PendingMessage
+# repro: allow(layer-contract): inherits the fused sequencer/view coupling of AtomicBroadcastEndpoint
 from .membership import GroupMembership
 from .message_log import GcsMessageLog
 from .spec import BroadcastTrace
 
 
+@implements("total_order")
+@uses("links")
 class EndToEndAtomicBroadcastEndpoint(AtomicBroadcastEndpoint):
     """Atomic broadcast with end-to-end guarantees and log-based recovery."""
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
+from ..core.layers import implements, uses
 from ..network.lan import Lan
 from ..network.node import Node
 from ..sim.engine import Simulator
@@ -26,6 +27,8 @@ from ..sim.engine import Simulator
 SuspicionListener = Callable[[str, str], None]
 
 
+@implements("failure_detector")
+@uses("links")
 class FailureDetector:
     """A perfect, oracle-driven failure detector shared by the whole group."""
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..core.layers import implements, uses
 from ..sim.engine import Simulator
 from .failure_detector import FailureDetector
 
@@ -45,6 +46,8 @@ class View:
         return self.members[0] if self.members else None
 
 
+@implements("membership")
+@uses("failure_detector")
 class GroupMembership:
     """Tracks the current view of a static set of potential members."""
 

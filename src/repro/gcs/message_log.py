@@ -74,8 +74,9 @@ class GcsMessageLog:
 
     def entries(self) -> List[LoggedMessage]:
         """All logged messages, in delivery (sequence) order."""
-        logged = [self._storage.get(key) for key in self._storage.keys()]
-        return sorted(logged, key=lambda entry: entry.sequence)
+        return sorted((self._storage.get(key)
+                       for key in self._storage.keys()),
+                      key=lambda entry: entry.sequence)
 
     def unacknowledged(self) -> List[LoggedMessage]:
         """Messages delivered but never acknowledged, in sequence order.

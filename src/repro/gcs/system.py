@@ -75,6 +75,7 @@ class GroupCommunicationSystem:
     @property
     def endpoints(self) -> List[AtomicBroadcastEndpoint]:
         """All endpoints, in node order."""
+        # repro: allow(ordering-hazard): registration order is node order, deterministic
         return list(self._endpoints.values())
 
     def member_names(self) -> List[str]:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
+from ..core.layers import implements
 from ..sim.engine import Simulator
 from ..sim.events import Timeout
 from .message import Message
@@ -25,6 +26,7 @@ from .node import Node
 MessageHandler = Callable[[Message], None]
 
 
+@implements("links")
 class Dispatcher:
     """Routes incoming messages of one node to per-kind handlers."""
 

@@ -17,12 +17,14 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from ..core.layers import implements
 from ..sim.engine import Simulator
 from ..sim.events import Deferred
 from .message import Message
 from .node import Node
 
 
+@implements("links")
 class Lan:
     """A broadcast-capable local-area network connecting :class:`Node` objects."""
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Generator, List, Optional
 
+from ..core.layers import implements
 from ..sim.engine import Simulator
 from ..sim.process import Process
 from ..sim.resources import Resource, Store
@@ -27,6 +28,7 @@ from ..sim.resources import Resource, Store
 NodeListener = Callable[["Node", str], None]
 
 
+@implements("links")
 class Node:
     """One machine on the simulated LAN."""
 

@@ -797,6 +797,7 @@ class PartitionedCluster:
                 return self._abort_migration(entry, "source-unavailable",
                                              fenced)
             delegate = source.up_servers()[0]
+            # repro: allow(ordering-hazard): ItemStore.keys() is a list in creation order
             keys = [key for key in source.database(delegate).items.keys()
                     if entry.key_range.contains(self.routing.position_of(key))]
             versions_seen: Dict[str, int] = {}
@@ -984,6 +985,7 @@ class PartitionedCluster:
             yield self.sim.timeout(1.0)
 
     def _pending_installs_touch(self, entry: _MigrationEntry) -> bool:
+        # repro: allow(ordering-hazard): any-overlap boolean scan, order-free
         for keys in self.coordinator.active_installs.values():
             for key in keys:
                 if entry.key_range.contains(self.routing.position_of(key)):

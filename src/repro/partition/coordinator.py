@@ -306,6 +306,7 @@ class CrossPartitionCoordinator:
             for partition_id in partitions}
         timeout = self.sim.timeout(self.prepare_timeout)
         yield self.sim.any_of(
+            # repro: allow(ordering-hazard): insertion order is the sorted partition order
             [self.sim.all_of(list(prepare_procs.values())), timeout])
 
         timed_out = False

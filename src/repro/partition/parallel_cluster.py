@@ -271,6 +271,7 @@ class ShardWorld:
             cross_results=self.cross_results,
             commits_on_shard=sum(
                 database.committed_count
+                # repro: allow(ordering-hazard): integer sum, exact at any order
                 for database in self.cluster.databases.values()),
             participant_branches=self.participant_branches,
             epoch_commits=dict(self.epoch_commits),
@@ -566,6 +567,8 @@ class ParallelShardedReport:
     messages: int
     shard_results: Dict[int, ShardResult]
     statistics: PartitionedRunStatistics
+    #: Worker count the caller requested, before clamping to the shard count.
+    requested_workers: int = 0
     #: Wall-clock split of the run (see ParallelRunReport).
     build_seconds: float = 0.0
     run_seconds: float = 0.0
@@ -580,6 +583,7 @@ class ParallelShardedReport:
     def total_events(self) -> int:
         """Events scheduled across all shards (the aggregate numerator)."""
         return sum(result.events_scheduled
+                   # repro: allow(ordering-hazard): integer sum, exact at any order
                    for result in self.shard_results.values())
 
 
@@ -624,14 +628,16 @@ def merge_statistics(scenario: ShardScenario,
     return statistics
 
 
-def run_parallel_sharded(scenario: ShardScenario,
-                         workers: int = 0) -> ParallelShardedReport:
+def run_parallel_sharded(scenario: ShardScenario, workers: int = 0,
+                         detect_races: bool = False) -> ParallelShardedReport:
     """Run ``scenario`` to completion with ``workers`` worker processes.
 
     ``workers=0`` runs the serial reference engine (all shards in this
     process); any positive count fans the shards out over that many worker
     processes.  Per-shard traces, results and the merged statistics are
-    identical in every mode.
+    identical in every mode.  ``detect_races=True`` enables the window
+    protocol cross-checks of :func:`repro.sim.parallel.run_sharded` —
+    observation only, no schedule changes.
     """
     specs = [ShardSpec(shard_id=shard_id,
                        builder="repro.partition.parallel_cluster:"
@@ -640,13 +646,14 @@ def run_parallel_sharded(scenario: ShardScenario,
              for shard_id in range(scenario.shard_count)]
     report: ParallelRunReport = run_sharded(
         specs, lookahead=scenario.lookahead,
-        until=scenario.duration_ms, workers=workers)
+        until=scenario.duration_ms, workers=workers,
+        detect_races=detect_races)
     statistics = merge_statistics(scenario, report.shard_results)
     return ParallelShardedReport(
         scenario=scenario, workers=report.workers, windows=report.windows,
         messages=report.messages, shard_results=report.shard_results,
-        statistics=statistics, build_seconds=report.build_seconds,
-        run_seconds=report.run_seconds)
+        statistics=statistics, requested_workers=report.requested_workers,
+        build_seconds=report.build_seconds, run_seconds=report.run_seconds)
 
 
 def merged_chrome_trace(report: ParallelShardedReport) -> Dict[str, Any]:

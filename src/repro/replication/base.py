@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from ..core.layers import implements, uses
 from ..db.engine import LocalDatabase
 from ..db.operations import TransactionProgram
 from ..db.transaction import Transaction
@@ -35,6 +36,8 @@ class PendingSubmission:
     responded: bool = False
 
 
+@implements("replication")
+@uses("links")
 class ReplicaServer:
     """Base class of every replication technique's per-server logic."""
 

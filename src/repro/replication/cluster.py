@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from ..core.layers import implements, uses
 from ..db.engine import LocalDatabase
 from ..db.operations import TransactionProgram
 from ..gcs.system import GroupCommunicationSystem
@@ -52,6 +53,8 @@ TECHNIQUES = ("group-safe", "group-1-safe", "2-safe", "1-safe", "0-safe")
 GROUP_BASED_TECHNIQUES = ("group-safe", "group-1-safe", "2-safe")
 
 
+@implements("replication")
+@uses("total_order")
 class ReplicatedDatabaseCluster:
     """A fully wired replicated database running one replication technique."""
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 from enum import Enum
 from typing import Optional
 
+from ..core.layers import implements, uses
 from ..db.engine import LocalDatabase
 from ..db.operations import OperationType
 from ..db.transaction import TransactionStatus, WriteSetMessage
@@ -64,6 +65,8 @@ class SafetyMode(Enum):
         return self in (SafetyMode.GROUP_1_SAFE, SafetyMode.TWO_SAFE)
 
 
+@implements("replication")
+@uses("total_order")
 class DatabaseStateMachineReplica(ReplicaServer):
     """One server running the database state machine technique."""
 

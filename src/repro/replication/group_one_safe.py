@@ -17,9 +17,11 @@ fastest with load.
 
 from __future__ import annotations
 
+from ..core.layers import implements
 from .dbsm import DatabaseStateMachineReplica, SafetyMode
 
 
+@implements("replication")
 class GroupOneSafeReplica(DatabaseStateMachineReplica):
     """Database state machine replica answering after the delegate's log flush."""
 

@@ -11,9 +11,11 @@ which is where the technique's performance advantage comes from (Sect. 6).
 
 from __future__ import annotations
 
+from ..core.layers import implements
 from .dbsm import DatabaseStateMachineReplica, SafetyMode
 
 
+@implements("replication")
 class GroupSafeReplica(DatabaseStateMachineReplica):
     """Database state machine replica answering at delivery time (group-safe)."""
 

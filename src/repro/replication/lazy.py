@@ -21,6 +21,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional
 
+from ..core.layers import implements, uses
 from ..db.engine import LocalDatabase
 from ..db.errors import DeadlockError, TransactionAborted
 from ..db.transaction import WriteSetMessage
@@ -36,6 +37,8 @@ from .base import PendingSubmission, ReplicaServer
 PROPAGATION_KIND = "LAZY.PROPAGATE"
 
 
+@implements("replication")
+@uses("links")
 class LazyReplica(ReplicaServer):
     """One server of the lazy (1-safe) replication scheme."""
 

@@ -17,9 +17,11 @@ delivered everywhere no component will ever present it again.
 
 from __future__ import annotations
 
+from ..core.layers import implements
 from .dbsm import DatabaseStateMachineReplica, SafetyMode
 
 
+@implements("replication")
 class TwoSafeReplica(DatabaseStateMachineReplica):
     """Database state machine replica on end-to-end atomic broadcast (2-safe)."""
 

@@ -11,9 +11,11 @@ flush.
 
 from __future__ import annotations
 
+from ..core.layers import implements
 from .lazy import LazyReplica
 
 
+@implements("replication")
 class ZeroSafeReplica(LazyReplica):
     """Lazy replica that answers the client before the commit record is durable."""
 

@@ -39,10 +39,32 @@ import importlib
 import math
 import multiprocessing
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 _INFINITY = float("inf")
+
+
+class LookaheadViolation(RuntimeError):
+    """A shard broke the conservative window protocol.
+
+    Raised by ``run_sharded(..., detect_races=True)`` when a cross-shard
+    message lands inside the lookahead window, a shard's clock regresses
+    behind its granted window, or the injection order diverges from the
+    ``(deliver_at, origin_shard, origin_seq)`` total order.  Carries full
+    provenance so the offending shard model can be found from the exception
+    alone.
+    """
+
+    def __init__(self, message: str, *, window: int, floor: float,
+                 lookahead: float,
+                 offending: Optional["CrossShardMessage"] = None) -> None:
+        super().__init__(message)
+        self.window = window
+        self.floor = floor
+        self.lookahead = lookahead
+        self.offending = offending
 
 
 @dataclass(frozen=True)
@@ -243,6 +265,9 @@ class ParallelRunReport:
     messages: int
     #: The worker count the run executed with (0 = in-process serial).
     workers: int
+    #: The worker count the caller asked for, before clamping to the shard
+    #: count; equals ``workers`` when no clamp was applied.
+    requested_workers: int = 0
     #: Wall-clock seconds spent building the shard worlds (workers build
     #: theirs concurrently) and running the window loop, kept separate so
     #: events/sec benchmarks measure the event loop, not model construction.
@@ -251,7 +276,8 @@ class ParallelRunReport:
 
 
 def run_sharded(specs: Sequence[ShardSpec], *, lookahead: float,
-                until: float, workers: int = 0) -> ParallelRunReport:
+                until: float, workers: int = 0,
+                detect_races: bool = False) -> ParallelRunReport:
     """Run every shard to simulated time ``until`` under conservative sync.
 
     ``lookahead`` must be a lower bound on every cross-shard delivery
@@ -260,6 +286,15 @@ def run_sharded(specs: Sequence[ShardSpec], *, lookahead: float,
     this process (the reference engine); ``workers>=1`` fans the shards out
     over that many worker processes.  The produced per-shard event sequences
     are identical in both modes and at every worker count.
+
+    ``detect_races=True`` cross-checks the protocol every window instead of
+    trusting it: every drained message must carry
+    ``deliver_at >= floor + lookahead``, the global floor must never regress,
+    every post-window peek must sit at or beyond the granted bound, and each
+    inbox's injection order must be strictly increasing under the
+    ``(deliver_at, origin_shard, origin_seq)`` key.  Violations raise
+    :class:`LookaheadViolation`.  Detection only observes — it never alters
+    the schedule, so digests are identical with it on or off.
     """
     if lookahead <= 0:
         raise ValueError(f"lookahead must be positive, got {lookahead!r}")
@@ -268,6 +303,11 @@ def run_sharded(specs: Sequence[ShardSpec], *, lookahead: float,
     if not specs:
         raise ValueError("at least one shard is required")
     worker_count = min(workers, len(specs))
+    if worker_count != workers:
+        warnings.warn(
+            f"run_sharded: clamped workers from {workers} to {worker_count} "
+            f"({len(specs)} shard(s) cannot use more processes)",
+            RuntimeWarning, stacklevel=2)
     build_started = time.perf_counter()
     engine = (_InProcessEngine(specs) if worker_count == 0
               else _ProcessPoolEngine(specs, worker_count))
@@ -282,12 +322,20 @@ def run_sharded(specs: Sequence[ShardSpec], *, lookahead: float,
         pending: List[CrossShardMessage] = []
         windows = 0
         messages = 0
+        previous_floor = -_INFINITY
         while True:
             floor = min(peeks.values())
             if pending:
                 floor = min(floor, min(m.deliver_at for m in pending))
             if floor > until or floor == _INFINITY:
                 break
+            if detect_races:
+                if floor < previous_floor:
+                    raise LookaheadViolation(
+                        f"window {windows}: global floor regressed from "
+                        f"{previous_floor!r} to {floor!r}",
+                        window=windows, floor=floor, lookahead=lookahead)
+                previous_floor = floor
             bound = min(floor + lookahead, horizon)
             routed: Dict[int, List[CrossShardMessage]] = {}
             still_pending: List[CrossShardMessage] = []
@@ -296,9 +344,42 @@ def run_sharded(specs: Sequence[ShardSpec], *, lookahead: float,
                     routed.setdefault(message.dest_shard, []).append(message)
                 else:
                     still_pending.append(message)
-            for inbox in routed.values():
-                inbox.sort(key=_message_key)
+            for dest_shard in sorted(routed):
+                routed[dest_shard].sort(key=_message_key)
+            if detect_races:
+                for dest_shard in sorted(routed):
+                    inbox = routed[dest_shard]
+                    for earlier, later in zip(inbox, inbox[1:]):
+                        if _message_key(earlier) >= _message_key(later):
+                            raise LookaheadViolation(
+                                f"window {windows}: inbox for shard "
+                                f"{dest_shard} is not strictly increasing "
+                                f"under (deliver_at, origin_shard, "
+                                f"origin_seq): {_message_key(earlier)!r} "
+                                f"followed by {_message_key(later)!r}",
+                                window=windows, floor=floor,
+                                lookahead=lookahead, offending=later)
             peeks, outbox = engine.advance(bound, routed)
+            if detect_races:
+                for message in outbox:
+                    if message.deliver_at < floor + lookahead:
+                        raise LookaheadViolation(
+                            f"window {windows} [{floor!r}, {bound!r}): shard "
+                            f"{message.origin_shard} sent "
+                            f"{message.kind!r} #{message.origin_seq} to "
+                            f"shard {message.dest_shard} with deliver_at="
+                            f"{message.deliver_at!r} < floor + lookahead = "
+                            f"{floor + lookahead!r}",
+                            window=windows, floor=floor,
+                            lookahead=lookahead, offending=message)
+                for shard_id in sorted(peeks):
+                    if peeks[shard_id] < bound:
+                        raise LookaheadViolation(
+                            f"window {windows}: shard {shard_id} reports "
+                            f"next event at {peeks[shard_id]!r}, inside the "
+                            f"granted window bound {bound!r} — its clock "
+                            f"regressed",
+                            window=windows, floor=floor, lookahead=lookahead)
             messages += len(outbox)
             pending = still_pending + list(outbox)
             windows += 1
@@ -308,5 +389,6 @@ def run_sharded(specs: Sequence[ShardSpec], *, lookahead: float,
         engine.close()
     return ParallelRunReport(shard_results=shard_results, windows=windows,
                              messages=messages, workers=worker_count,
+                             requested_workers=workers,
                              build_seconds=build_seconds,
                              run_seconds=run_seconds)

@@ -59,6 +59,9 @@ class Resource:
     The :meth:`use` helper wraps exactly that pattern.
     """
 
+    __slots__ = ("sim", "capacity", "name", "_users", "_waiting",
+                 "granted_count", "busy_time")
+
     def __init__(self, sim: "Simulator", capacity: int = 1,
                  name: Optional[str] = None) -> None:
         if capacity < 1:
@@ -174,6 +177,8 @@ class Resource:
 class Store:
     """Unbounded FIFO channel of items with blocking ``get``."""
 
+    __slots__ = ("sim", "name", "_items", "_getters", "put_count")
+
     def __init__(self, sim: "Simulator", name: Optional[str] = None) -> None:
         self.sim = sim
         self.name = name or "store"
@@ -237,6 +242,8 @@ class Gate:
     :meth:`open` is called, all current and future waiters pass immediately
     until :meth:`close` resets the gate.
     """
+
+    __slots__ = ("sim", "name", "_opened", "_waiters")
 
     def __init__(self, sim: "Simulator", opened: bool = False,
                  name: Optional[str] = None) -> None:

@@ -1,0 +1,5 @@
+"""Fixture: one float-time-arith violation."""
+
+
+def same_instant(first, second) -> bool:
+    return first.deliver_at == second.deliver_at

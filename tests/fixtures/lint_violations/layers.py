@@ -1,0 +1,19 @@
+"""Fixture: one layer-contract violation (an upward @uses)."""
+
+
+def implements(layer):
+    def decorate(cls):
+        return cls
+    return decorate
+
+
+def uses(layer):
+    def decorate(cls):
+        return cls
+    return decorate
+
+
+@implements("links")
+@uses("total_order")
+class UpwardLink:
+    """A link layer that reaches up into total order — forbidden."""

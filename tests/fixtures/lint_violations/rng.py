@@ -1,0 +1,7 @@
+"""Fixture: one unseeded-rng violation."""
+
+import random
+
+
+def jitter() -> float:
+    return random.random()

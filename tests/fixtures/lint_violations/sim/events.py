@@ -1,0 +1,6 @@
+"""Fixture: one slots-consistency violation (hot-path class, no __slots__)."""
+
+
+class UnslottedEvent:
+    def __init__(self, when: float) -> None:
+        self.when = when

@@ -1,0 +1,6 @@
+"""Fixture: one ordering-hazard violation (unsorted .values() iteration)."""
+
+
+def drain(pending: dict) -> None:
+    for callback in pending.values():
+        callback()

@@ -1,0 +1,7 @@
+"""Fixture: one wall-clock violation."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

@@ -1,0 +1,67 @@
+"""A minimal, hand-rolled shard model for exercising the race detector.
+
+Implements the ``run_sharded`` shard protocol without a Simulator: shard 0
+ticks at a fixed period and sends one cross-shard message per tick to shard
+1, with a configurable delivery latency.  With ``latency >= lookahead`` the
+model is protocol-clean; with ``latency < lookahead`` it deliberately sends
+into the conservative window — exactly the race ``detect_races=True`` must
+catch.  Lives in ``tests/`` (importable as ``racy_shard`` via the pytest
+rootdir path) so the violation can never ship inside ``src/repro``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.sim.parallel import CrossShardMessage
+
+_INFINITY = float("inf")
+
+
+class TickShard:
+    """Shard 0 emits ticks to shard 1; shard 1 only listens."""
+
+    def __init__(self, shard_id: int, config: dict) -> None:
+        self.shard_id = shard_id
+        self.latency = config["latency"]
+        self.period = config["period"]
+        self.until = config["until"]
+        self.next_tick = self.period if shard_id == 0 else _INFINITY
+        self.sequence = 0
+        self.outbox = []
+        self.log = []
+
+    def peek(self) -> float:
+        return self.next_tick
+
+    def run_before(self, bound: float) -> None:
+        while self.next_tick < bound:
+            now = self.next_tick
+            self.sequence += 1
+            self.log.append(("tick", now, self.sequence))
+            self.outbox.append(CrossShardMessage(
+                deliver_at=now + self.latency, dest_shard=1,
+                origin_shard=self.shard_id, origin_seq=self.sequence,
+                kind="tick", payload=now))
+            advanced = now + self.period
+            self.next_tick = advanced if advanced <= self.until else _INFINITY
+
+    def inject(self, message: CrossShardMessage) -> None:
+        self.log.append(("recv", message.deliver_at, message.origin_shard,
+                         message.origin_seq, message.payload))
+
+    def drain_outbox(self):
+        drained = self.outbox
+        self.outbox = []
+        return drained
+
+    def finish(self, until: float) -> str:
+        digest = hashlib.sha256()
+        for entry in self.log:
+            digest.update(repr(entry).encode())
+        return digest.hexdigest()
+
+
+def build(shard_id: int, config: dict) -> TickShard:
+    """The ``ShardSpec`` builder entry point (``racy_shard:build``)."""
+    return TickShard(shard_id, config)

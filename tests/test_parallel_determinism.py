@@ -18,6 +18,8 @@ failpoint.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.partition.parallel_cluster import (CrashPlan, MigrationPlan,
@@ -26,6 +28,10 @@ from repro.partition.parallel_cluster import (CrashPlan, MigrationPlan,
 from repro.sim.parallel import ShardSpec, run_sharded
 
 WORKER_COUNTS = (0, 1, 2, 4)
+
+#: CI sets REPRO_DETECT_RACES=1 to re-run this suite with the runtime window
+#: protocol cross-checks on — digests must be unaffected either way.
+DETECT_RACES = os.environ.get("REPRO_DETECT_RACES", "") not in ("", "0")
 
 
 def _plain_scenario() -> ShardScenario:
@@ -63,7 +69,8 @@ def _strip_obs(statistics):
 def test_digests_and_statistics_identical_at_every_worker_count(
         scenario_factory, name):
     scenario = scenario_factory()
-    reference = run_parallel_sharded(scenario, workers=0)
+    reference = run_parallel_sharded(scenario, workers=0,
+                                     detect_races=DETECT_RACES)
     assert all(digest is not None for digest in reference.digests.values())
     # The run must have actually exercised the cross-shard machinery,
     # otherwise the determinism claim is vacuous.
@@ -71,7 +78,8 @@ def test_digests_and_statistics_identical_at_every_worker_count(
     assert reference.statistics.measured_commits > 0
     assert reference.statistics.cross.measured_commits > 0
     for workers in WORKER_COUNTS[1:]:
-        parallel = run_parallel_sharded(scenario, workers=workers)
+        parallel = run_parallel_sharded(scenario, workers=workers,
+                                        detect_races=DETECT_RACES)
         assert parallel.digests == reference.digests, \
             f"{name}: per-shard digests diverged at workers={workers}"
         assert (_strip_obs(parallel.statistics) ==
@@ -95,10 +103,23 @@ def test_failure_scenario_really_injects_failures():
 
 def test_worker_count_beyond_shards_is_clamped():
     scenario = _plain_scenario()
-    report = run_parallel_sharded(scenario, workers=8)
+    with pytest.warns(RuntimeWarning, match=r"clamped workers from 8 to 3"):
+        report = run_parallel_sharded(scenario, workers=8)
     assert report.workers == scenario.shard_count
+    assert report.requested_workers == 8
     assert report.digests == run_parallel_sharded(scenario,
                                                   workers=0).digests
+
+
+def test_unclamped_run_emits_no_warning_and_reports_request():
+    import warnings
+
+    scenario = _plain_scenario()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        report = run_parallel_sharded(scenario, workers=2)
+    assert report.workers == 2
+    assert report.requested_workers == 2
 
 
 def test_merged_chrome_trace_validates_with_one_pid_per_shard():
