@@ -86,12 +86,13 @@ def _summary(sim, commits: int, sim_ms: float, wall_s: float,
 # -- scenarios --------------------------------------------------------------------------
 
 
-def one_shard_saturation(smoke: bool, profile: bool = False) -> Dict[str, float]:
+def one_shard_saturation(smoke: bool, profile: bool = False,
+                         engine: str = "fixed-sequencer") -> Dict[str, float]:
     """Table 4 group-safe topology at a saturating open-loop load."""
     duration_ms = 4_000.0 if smoke else 20_000.0
-    cluster = ReplicatedDatabaseCluster("group-safe",
-                                        params=SimulationParameters.paper(),
-                                        seed=11)
+    params = SimulationParameters.paper().with_overrides(
+        broadcast_engine=engine)
+    cluster = ReplicatedDatabaseCluster("group-safe", params=params, seed=11)
     trace = cluster.sim.enable_trace() if profile else None
     cluster.start()
     clients = OpenLoopClientPool(cluster, load_tps=40.0, warmup=0.0)
@@ -103,12 +104,14 @@ def one_shard_saturation(smoke: bool, profile: bool = False) -> Dict[str, float]
                     trace=trace)
 
 
-def partitioned_zipf(smoke: bool, profile: bool = False) -> Dict[str, float]:
+def partitioned_zipf(smoke: bool, profile: bool = False,
+                     engine: str = "fixed-sequencer") -> Dict[str, float]:
     """4 range shards, Zipf-1.1 skew, 10% cross-partition 2PC traffic."""
     duration_ms = 3_000.0 if smoke else 12_000.0
     params = SimulationParameters.small(server_count=3,
                                         item_count=2_000).with_overrides(
-        partition_count=4, zipf_skew=1.1, cross_partition_probability=0.1)
+        partition_count=4, zipf_skew=1.1, cross_partition_probability=0.1,
+        broadcast_engine=engine)
     cluster = PartitionedCluster("group-safe", params=params, seed=17,
                                  strategy="range")
     trace = cluster.sim.enable_trace() if profile else None
@@ -122,14 +125,16 @@ def partitioned_zipf(smoke: bool, profile: bool = False) -> Dict[str, float]:
                     trace=trace)
 
 
-def autobalance_shift(smoke: bool, profile: bool = False) -> Dict[str, float]:
+def autobalance_shift(smoke: bool, profile: bool = False,
+                      engine: str = "fixed-sequencer") -> Dict[str, float]:
     """Hotspot shift repaired by the live rebalance controller."""
     duration_ms = 8_000.0 if smoke else 17_000.0
     shift_at_ms = duration_ms * 0.35
     items = 240 if smoke else 400
     params = SimulationParameters.small(server_count=3,
                                         item_count=items).with_overrides(
-        partition_count=4, zipf_skew=1.1, cross_partition_probability=0.05)
+        partition_count=4, zipf_skew=1.1, cross_partition_probability=0.05,
+        broadcast_engine=engine)
     cluster = PartitionedCluster("group-safe", params=params, seed=33,
                                  strategy="range")
     trace = cluster.sim.enable_trace() if profile else None
@@ -150,7 +155,8 @@ def autobalance_shift(smoke: bool, profile: bool = False) -> Dict[str, float]:
                     trace=trace)
 
 
-def parallel_sharded(smoke: bool, profile: bool = False) -> Dict[str, float]:
+def parallel_sharded(smoke: bool, profile: bool = False,
+                     engine: str = "fixed-sequencer") -> Dict[str, float]:
     """16 shards as parallel worker processes under conservative sync.
 
     Runs the same scenario twice — on the serial in-process reference engine
@@ -174,14 +180,16 @@ def parallel_sharded(smoke: bool, profile: bool = False) -> Dict[str, float]:
             technique="group-safe", shard_count=4, seed=23,
             items_per_shard=2_048, servers_per_shard=3,
             load_tps_per_shard=300.0, cross_shard_probability=0.1,
-            cross_shard_latency=8.0, duration_ms=2_000.0)
+            cross_shard_latency=8.0, duration_ms=2_000.0,
+            broadcast_engine=engine)
         workers = 2
     else:
         scenario = ShardScenario(
             technique="group-safe", shard_count=16, seed=23,
             items_per_shard=65_536, servers_per_shard=3,
             load_tps_per_shard=300.0, cross_shard_probability=0.1,
-            cross_shard_latency=8.0, duration_ms=4_000.0)
+            cross_shard_latency=8.0, duration_ms=4_000.0,
+            broadcast_engine=engine)
         workers = min(os.cpu_count() or 1, scenario.shard_count)
     if profile:
         # Profile one shard world in isolation (the window protocol adds no
@@ -261,9 +269,11 @@ def regression_failures(previous: Dict[str, Dict], fresh: Dict[str, Dict],
     return failures
 
 
-def render_report(scenarios: Dict[str, Dict], mode: str) -> str:
+def render_report(scenarios: Dict[str, Dict], mode: str,
+                  engine: str = "fixed-sequencer") -> str:
     lines = [
-        f"Simulation-kernel wall-clock benchmark ({mode} mode)",
+        f"Simulation-kernel wall-clock benchmark ({mode} mode, "
+        f"{engine} engine)",
         "",
         f"{'scenario':>22} | {'events/s':>12} | {'baseline':>12} | "
         f"{'speedup':>8} | {'commits/s':>10} | {'sim ms':>8} | {'wall s':>7}",
@@ -313,18 +323,32 @@ def main(argv: Optional[list] = None) -> int:
                         help="run each scenario once with kernel tracing on "
                              "and print a per-event-type profile (no timing "
                              "gate; traced runs are slower by design)")
+    from repro.gcs.engines import DEFAULT_ENGINE, engine_names
+    parser.add_argument("--engine", default=DEFAULT_ENGINE,
+                        choices=engine_names(),
+                        help="total-order broadcast engine the group-based "
+                             "scenarios run on; non-default engines have "
+                             "their own event mix, so the regression gate "
+                             "only applies to the default")
     arguments = parser.parse_args(argv)
 
     if arguments.profile:
         for name, scenario in SCENARIOS.items():
             print(f"profiling {name}...", flush=True)
-            run = scenario(arguments.smoke, profile=True)
+            run = scenario(arguments.smoke, profile=True,
+                           engine=arguments.engine)
             print(render_kernel_profile(run["profile"]))
             print()
         return 0
 
-    json_path = arguments.json or (SMOKE_JSON if arguments.smoke
-                                   else DEFAULT_JSON)
+    if arguments.json:
+        json_path = arguments.json
+    elif arguments.engine != DEFAULT_ENGINE:
+        # Keep non-default-engine numbers out of the committed gate file:
+        # their event mix is different, so they are not regression evidence.
+        json_path = REPORT_DIR / f"BENCH_kernel.{arguments.engine}.json"
+    else:
+        json_path = SMOKE_JSON if arguments.smoke else DEFAULT_JSON
     mode = "smoke" if arguments.smoke else "full"
     committed = load_previous(DEFAULT_JSON)
 
@@ -346,7 +370,7 @@ def main(argv: Optional[list] = None) -> int:
         print(f"running {name} ({mode}, best of {repeats})...", flush=True)
         best: Optional[Dict] = None
         for _attempt in range(repeats):
-            run = scenario(arguments.smoke)
+            run = scenario(arguments.smoke, engine=arguments.engine)
             if best is None or run["events_per_sec"] > best["events_per_sec"]:
                 best = run
         fresh[name] = best
@@ -369,13 +393,14 @@ def main(argv: Optional[list] = None) -> int:
     payload = {
         "schema": 1,
         "mode": mode,
+        "engine": arguments.engine,
         "note": "events/s are wall-clock rates; baseline is the "
                 "pre-optimisation kernel on the same machine",
         "scenarios": scenarios,
     }
     json_path.parent.mkdir(parents=True, exist_ok=True)
     json_path.write_text(json.dumps(payload, indent=2) + "\n")
-    report = render_report(scenarios, mode)
+    report = render_report(scenarios, mode, engine=arguments.engine)
     print()
     print(report)
     REPORT_DIR.mkdir(parents=True, exist_ok=True)
@@ -385,6 +410,7 @@ def main(argv: Optional[list] = None) -> int:
     print(f"\nwrote {json_path}")
 
     gate_disabled = (arguments.no_gate or arguments.capture_baseline
+                     or arguments.engine != DEFAULT_ENGINE
                      or os.environ.get("BENCH_KERNEL_SKIP_GATE") == "1")
     if not gate_disabled:
         tolerance = float(os.environ.get("BENCH_KERNEL_TOLERANCE",

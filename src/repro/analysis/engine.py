@@ -15,8 +15,7 @@ justifies the exception::
     for key in self._storage.keys():  # repro: allow(ordering-hazard): log \
         append order is the replay order
 
-    # repro: allow(layer-contract): fused view management until the
-    # pluggable-stack decomposition (ROADMAP)
+    # repro: allow(layer-contract): composition root, wires the whole stack
     from .membership import GroupMembership
 
 A comment on its own line covers the next line; a trailing comment covers its

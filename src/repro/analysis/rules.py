@@ -378,6 +378,18 @@ _LAYER_ORDER: Tuple[str, ...] = (
 )
 _LAYER_INDEX = {layer: index for index, layer in enumerate(_LAYER_ORDER)}
 
+#: Oracle layers sit beside the stack, not in its data path: the failure
+#: detector only answers "do you suspect p?" and every protocol layer is
+#: allowed to consult it directly.  Strict adjacency therefore neither
+#: flags a reach down *to* an oracle nor counts an oracle as the
+#: intermediate a lower reach must route through.
+_ORACLE_LAYERS: FrozenSet[str] = frozenset({"failure_detector"})
+
+#: The top of the stack is the application, not a protocol layer —
+#: replication composition roots legitimately wire every layer below them,
+#: so strict adjacency does not constrain them.
+_TOP_LAYER_INDEX = len(_LAYER_ORDER) - 1
+
 
 class _AnnotatedClass:
     __slots__ = ("name", "lineno", "implements", "uses")
@@ -408,9 +420,12 @@ class LayerContractRule(Rule):
     layer *above* its own, or an annotated module importing an annotated
     module of a higher layer, is an error; equal-layer dependencies are
     allowed (a total-order endpoint may extend another).  With
-    ``strict_adjacency=True`` a class reaching more than one layer down past
-    an implemented intermediate layer is also flagged — off by default while
-    ``reliable_broadcast`` has no implementation to route through.
+    ``strict_adjacency=True`` a protocol class must route through the layer
+    directly below it.  Two structural exemptions keep that check honest:
+    oracle layers (the failure detector) carry hints rather than data, so
+    any layer may consult them and they are transparent when computing
+    adjacency; and the top ``replication`` layer is the application, whose
+    composition roots wire the whole stack by design.
     """
 
     name = "layer-contract"
@@ -495,6 +510,22 @@ class LayerContractRule(Rule):
         targets.extend(f"{base}.{alias.name}" for alias in node.names)
         return targets
 
+    @staticmethod
+    def _strict_adjacent_below(own: int) -> Optional[int]:
+        """The layer strict adjacency expects ``own`` to route through.
+
+        ``None`` means the implementing layer is exempt: the application on
+        top of the stack, or the bottom with nothing below it.  Oracle
+        layers are skipped — a reliable-broadcast primitive sits directly
+        on the links even though the failure detector is between them.
+        """
+        if own == _TOP_LAYER_INDEX:
+            return None
+        below = own - 1
+        while below >= 0 and _LAYER_ORDER[below] in _ORACLE_LAYERS:
+            below -= 1
+        return below if below >= 0 else None
+
     def finish(self) -> Iterator[Finding]:
         module_layer: Dict[str, int] = {}
         for info in self._modules:
@@ -523,15 +554,18 @@ class LayerContractRule(Rule):
                             message=f"upward dependency: {annotated.name} "
                                     f"implements {_LAYER_ORDER[own]!r} but "
                                     f"uses higher layer {layer!r}")
-                    elif self.strict_adjacency and used < own - 1:
-                        yield Finding(
-                            path=info.relpath, line=lineno, column=1,
-                            rule=self.name,
-                            message=f"skip-layer dependency: "
-                                    f"{annotated.name} implements "
-                                    f"{_LAYER_ORDER[own]!r} but reaches past "
-                                    f"{_LAYER_ORDER[own - 1]!r} down to "
-                                    f"{layer!r}")
+                    elif self.strict_adjacency \
+                            and layer not in _ORACLE_LAYERS:
+                        adjacent = self._strict_adjacent_below(own)
+                        if adjacent is not None and used < adjacent:
+                            yield Finding(
+                                path=info.relpath, line=lineno, column=1,
+                                rule=self.name,
+                                message=f"skip-layer dependency: "
+                                        f"{annotated.name} implements "
+                                        f"{_LAYER_ORDER[own]!r} but reaches "
+                                        f"past {_LAYER_ORDER[adjacent]!r} "
+                                        f"down to {layer!r}")
             own_layer = module_layer.get(info.dotted)
             if own_layer is None:
                 continue

@@ -156,12 +156,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     non-zero on a soundness violation or when no predicted-possible-loss
     cell demonstrated a concrete losing schedule.
     """
+    from ..gcs.engines import DEFAULT_ENGINE
     from .report import matrix_cli
 
     def run(arguments):
         techniques = list(SMOKE_TECHNIQUES) if arguments.smoke else None
+        # Only materialise a parameter set when deviating from the default
+        # engine, so default runs keep the scenarios' own parameters.
+        params = None if arguments.engine == DEFAULT_ENGINE else \
+            SimulationParameters.small(server_count=3, item_count=100) \
+            .with_overrides(broadcast_engine=arguments.engine)
         entries = run_failure_matrix(techniques=techniques,
                                      seed=arguments.seed,
+                                     params=params,
                                      workers=arguments.workers)
         from .traced import maybe_write_scenario_trace
         maybe_write_scenario_trace(arguments.trace, seed=arguments.seed)

@@ -691,14 +691,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     missing one of the required pattern classes — so a regression in the
     partitioned crash handling fails CI even without the benchmark job.
     """
+    from ..gcs.engines import DEFAULT_ENGINE
     from .report import matrix_cli
 
     def run(arguments):
         techniques = (SMOKE_TECHNIQUES if arguments.smoke
                       else DEFAULT_TECHNIQUES)
+        # Only materialise a parameter set when deviating from the default
+        # engine, so default runs keep the scenarios' own parameters.
+        params = None if arguments.engine == DEFAULT_ENGINE else \
+            SimulationParameters.small(server_count=3, item_count=100) \
+            .with_overrides(broadcast_engine=arguments.engine)
         entries = run_partitioned_failure_matrix(
             techniques=techniques, shard_count=arguments.shards,
-            seed=arguments.seed, workers=arguments.workers)
+            seed=arguments.seed, params=params, workers=arguments.workers)
         from .traced import maybe_write_scenario_trace
         maybe_write_scenario_trace(arguments.trace, seed=arguments.seed)
         return entries, render_partitioned_matrix(entries)

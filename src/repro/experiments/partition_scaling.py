@@ -190,9 +190,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     """
     import argparse
 
+    from ..gcs.engines import DEFAULT_ENGINE, engine_names
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="short windows / fewer points for CI")
+    parser.add_argument("--engine", default=DEFAULT_ENGINE,
+                        choices=engine_names(),
+                        help="total-order broadcast engine of every group")
     parser.add_argument("--seed", type=int, default=21)
     parser.add_argument("--cross", type=float, default=0.1,
                         help="cross-partition probability of the sweep")
@@ -202,9 +207,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     arguments = parser.parse_args(argv)
     counts = (1, 2, 4) if arguments.smoke else PARTITION_COUNTS
     duration = 6_000.0 if arguments.smoke else 12_000.0
+    # Only materialise a parameter set when deviating from the default
+    # engine, so default runs keep run_partition_point's own parameters.
+    params = None if arguments.engine == DEFAULT_ENGINE else \
+        SimulationParameters.small(server_count=3, item_count=400) \
+        .with_overrides(broadcast_engine=arguments.engine)
     points = partition_sweep(partition_counts=counts,
                              cross_partition_probability=arguments.cross,
-                             duration_ms=duration, seed=arguments.seed)
+                             duration_ms=duration, seed=arguments.seed,
+                             params=params)
+    print(f"engine: {arguments.engine}")
     print(render_partition_sweep(points))
     if arguments.trace:
         from pathlib import Path
@@ -214,7 +226,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         traced = run_partition_point(
             partition_count=counts[-1],
             cross_partition_probability=arguments.cross,
-            duration_ms=duration, seed=arguments.seed, observability=True)
+            duration_ms=duration, seed=arguments.seed, params=params,
+            observability=True)
         trace_path = Path(arguments.trace)
         write_chrome_trace(trace_path, traced.statistics.obs,
                            metadata={"scenario": "partition-scaling",

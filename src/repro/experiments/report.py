@@ -55,9 +55,15 @@ def matrix_cli(argv: Optional[List[str]], *, description: str,
     import argparse
     from pathlib import Path
 
+    from ..gcs.engines import DEFAULT_ENGINE, engine_names
+
     parser = argparse.ArgumentParser(description=description)
     parser.add_argument("--smoke", action="store_true",
                         help="reduced technique set for CI")
+    parser.add_argument("--engine", default=DEFAULT_ENGINE,
+                        choices=engine_names(),
+                        help="total-order broadcast engine the group-based "
+                             "techniques run on")
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--workers", type=int, default=1,
                         help="fan the matrix cells out over N worker "
@@ -70,6 +76,7 @@ def matrix_cli(argv: Optional[List[str]], *, description: str,
     arguments = parser.parse_args(argv)
 
     entries, text = run(arguments)
+    text = f"engine: {arguments.engine}\n{text}"
     print(text)
     report_dir = Path(arguments.report_dir)
     report_dir.mkdir(parents=True, exist_ok=True)

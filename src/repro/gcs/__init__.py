@@ -1,28 +1,43 @@
 """Group communication component (Sect. 2.3 and 4 of the paper).
 
-The package provides classical uniform atomic broadcast, the new end-to-end
-atomic broadcast, view-based membership, failure detection, the stable
-message log used for log-based recovery, and checkpoint-based state transfer.
+The package is a layered protocol stack matching
+:data:`repro.core.layers.LAYER_ORDER`: a reliable-broadcast layer over the
+LAN, a perfect failure detector, pluggable total-order engines (fixed
+sequencer and Multi-Paxos, selected through :mod:`repro.gcs.engines`),
+view-based membership, the stable message log used for log-based recovery
+(composed in as the end-to-end :class:`DeliveryJournal`), and
+checkpoint-based state transfer.
 """
 
-from .atomic_broadcast import AtomicBroadcastEndpoint, Delivery
-from .end_to_end import EndToEndAtomicBroadcastEndpoint
+from .end_to_end import DeliveryJournal
+from .engines import (DEFAULT_ENGINE, BroadcastEngineSpec, engine_names,
+                      register_engine, resolve_engine)
 from .failure_detector import FailureDetector
+from .fixed_sequencer import FixedSequencerEngine
 from .membership import GroupMembership, View
 from .message_log import GcsMessageLog, LoggedMessage
+from .paxos import MultiPaxosEngine
+from .reliable_broadcast import ReliableBroadcastLayer
 from .spec import (ATOMIC_BROADCAST_PROPERTIES, END_TO_END_PROPERTIES,
                    BroadcastProperty, BroadcastTrace, DeliveryRecord,
                    GroupModel, ProcessClass, classify_process)
 from .state_transfer import (ApplicationCheckpoint, install_checkpoint,
                              take_checkpoint)
 from .system import GroupCommunicationSystem
+from .total_order import Delivery, MembershipPort, TotalOrderEngine
 
 __all__ = [
-    "AtomicBroadcastEndpoint",
-    "EndToEndAtomicBroadcastEndpoint",
+    "BroadcastEngineSpec",
+    "DEFAULT_ENGINE",
     "Delivery",
+    "DeliveryJournal",
+    "FixedSequencerEngine",
     "GroupCommunicationSystem",
     "GroupMembership",
+    "MembershipPort",
+    "MultiPaxosEngine",
+    "ReliableBroadcastLayer",
+    "TotalOrderEngine",
     "View",
     "FailureDetector",
     "GcsMessageLog",
@@ -38,4 +53,7 @@ __all__ = [
     "DeliveryRecord",
     "ATOMIC_BROADCAST_PROPERTIES",
     "END_TO_END_PROPERTIES",
+    "engine_names",
+    "register_engine",
+    "resolve_engine",
 ]

@@ -1,4 +1,4 @@
-"""End-to-end atomic broadcast (Sect. 4 of the paper).
+"""End-to-end atomic broadcast as a layer-composition option (Sect. 4).
 
 The end-to-end primitive extends classical atomic broadcast with the
 inter-component acknowledgement ``ack(m)`` of Fig. 6 and with log-based
@@ -7,163 +7,66 @@ recovery:
 * every message is recorded on the group-communication component's **stable
   message log** when it is delivered to the application;
 * the application signals *successful delivery* by calling
-  :meth:`EndToEndAtomicBroadcastEndpoint.acknowledge`, which durably marks the
-  message as processed;
-* after a crash, :meth:`recover` replays every logged message whose
+  ``endpoint.acknowledge(delivery)``, which durably marks the message as
+  processed;
+* after a crash, ``endpoint.recover()`` replays every logged message whose
   acknowledgement is missing, so a non-red process eventually successfully
   delivers every message it delivered — the End-to-End property;
 * the refined uniform integrity holds because replays are marked and the
   application's testable-transaction registry (plus the log's acknowledged
   flag) ensures at-most-once *successful* delivery.
 
-This is the primitive that makes 2-safe database replication possible
-(Sect. 4.3, Fig. 7), at the price of a stable-storage write per delivery.
+Rather than a subclass of the endpoint, end-to-end delivery is composed into
+any :class:`~repro.gcs.total_order.TotalOrderEngine` by handing it a
+:class:`DeliveryJournal` — the one object that owns the stable message log
+and the Table 4 cost of writing it.  This is the primitive that makes 2-safe
+database replication possible (Sect. 4.3, Fig. 7), at the price of a
+stable-storage write per delivery, and it works identically under every
+ordering engine.
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, List
 
-from ..core.layers import implements, uses
-from ..network.dispatch import Dispatcher
-from ..network.lan import Lan
-from ..network.message import Message
 from ..network.node import Node
-from ..sim.engine import Simulator
-from ..sim.resources import Store
-from .atomic_broadcast import AtomicBroadcastEndpoint, Delivery, _PendingMessage
-# repro: allow(layer-contract): inherits the fused sequencer/view coupling of AtomicBroadcastEndpoint
-from .membership import GroupMembership
-from .message_log import GcsMessageLog
-from .spec import BroadcastTrace
+from .message_log import GcsMessageLog, LoggedMessage
 
 
-@implements("total_order")
-@uses("links")
-class EndToEndAtomicBroadcastEndpoint(AtomicBroadcastEndpoint):
-    """Atomic broadcast with end-to-end guarantees and log-based recovery."""
+class DeliveryJournal:
+    """Stable-storage delivery journal backing the end-to-end guarantees."""
 
-    KIND_SYNC_REQUEST = "ABCAST.E2E.SYNC_REQUEST"
-    KIND_SYNC_REPLY = "ABCAST.E2E.SYNC_REPLY"
-
-    def __init__(self, sim: Simulator, lan: Lan, node: Node,
-                 dispatcher: Dispatcher, membership: GroupMembership,
-                 member_name: Optional[str] = None,
-                 delivery_cpu_time: float = 0.07,
-                 delivery_log_time: float = 0.0,
-                 trace: Optional[BroadcastTrace] = None) -> None:
-        super().__init__(sim, lan, node, dispatcher, membership,
-                         member_name=member_name,
-                         delivery_cpu_time=delivery_cpu_time, trace=trace)
+    def __init__(self, node: Node, name: str, log_time: float = 0.0) -> None:
+        #: The underlying stable message log (survives crashes).
+        self.log = GcsMessageLog(node, name=name)
         #: Time charged on a disk for logging one delivery.  The protocol
         #: experiments leave it at 0 (timing is irrelevant there); the 2-safe
         #: performance ablation sets it to a Table 4 write time to expose the
         #: cost of end-to-end guarantees.
-        self.delivery_log_time = delivery_log_time
-        self.message_log = GcsMessageLog(node, name=f"{self.member_name}.e2e")
-        dispatcher.register(self.KIND_SYNC_REQUEST, self._on_sync_request)
-        dispatcher.register(self.KIND_SYNC_REPLY, self._on_sync_reply)
-        #: Statistics.
-        self.replayed_count = 0
-        self.ack_count = 0
+        self.log_time = log_time
 
-    # ------------------------------------------------------------------ delivery hook
-    def _before_deliver(self, sequence: int, entry: _PendingMessage,
-                        replayed: bool):
-        """Log the delivery on stable storage before handing it upward."""
-        if self.delivery_log_time:
-            yield from self.node.use_cpu(self.node.cpu_time_per_io)
-            yield from self.node.use_disk(self.delivery_log_time)
-        self.message_log.record_delivery(sequence, entry.broadcast_id,
-                                         entry.payload, self.sim.now)
+    # ------------------------------------------------------------------ writes
+    def record_delivery(self, sequence: int, broadcast_id: str, payload: Any,
+                        now: float) -> None:
+        """Durably record one delivery before it is handed to the application."""
+        self.log.record_delivery(sequence, broadcast_id, payload, now)
 
-    # ------------------------------------------------------------------ ack(m)
-    def acknowledge(self, delivery: Delivery) -> None:
-        """Record the application's ack(m): the delivery was successful."""
-        self.ack_count += 1
-        self.message_log.record_ack(delivery.broadcast_id, self.sim.now)
-        if self.trace is not None:
-            for record in self.trace.deliveries:
-                if record.member == self.member_name and \
-                        record.broadcast_id == delivery.broadcast_id:
-                    record.acknowledged = True
-                    record.acknowledged_at = self.sim.now
+    def record_ack(self, broadcast_id: str, now: float) -> None:
+        """Durably record the application's ack(m)."""
+        self.log.record_ack(broadcast_id, now)
 
-    # ------------------------------------------------------------------ recovery
-    def recover(self, rejoin_timeout: float = 10.0):
-        """Generator: log-based recovery (static crash recovery model).
+    # ------------------------------------------------------------------ reads
+    def entries(self) -> List[LoggedMessage]:
+        """Every logged delivery, in sequence order."""
+        return self.log.entries()
 
-        Unlike the classical endpoint, a recovering end-to-end endpoint keeps
-        its identity, rebuilds its delivery horizon from its stable message
-        log, replays every unacknowledged message to the application, and
-        asks live members to retransmit messages it never saw.  It never needs
-        an application checkpoint.
-        """
-        self._reset_volatile()
-        self._started = False
-        if not self.dispatcher.is_running:
-            self.dispatcher.start()
-        self.start()
-        self.membership.add_member(self.member_name)
+    def unacknowledged(self) -> List[LoggedMessage]:
+        """Logged deliveries the application never acknowledged."""
+        return self.log.unacknowledged()
 
-        logged = self.message_log.entries()
-        self._delivered_seq = self.message_log.highest_sequence()
-        self._stable_up_to = self._delivered_seq
-        self._next_seq = self._delivered_seq + 1
-        self._delivered_ids = {entry.broadcast_id for entry in logged}
+    def highest_sequence(self) -> int:
+        """The highest logged sequence number (0 when the log is empty)."""
+        return self.log.highest_sequence()
 
-        # Replay unacknowledged messages to the application (Fig. 7).
-        replayed = 0
-        for entry in self.message_log.unacknowledged():
-            delivery = Delivery(payload=entry.payload,
-                                broadcast_id=entry.broadcast_id,
-                                sequence=entry.sequence,
-                                delivered_at=self.sim.now,
-                                member=self.member_name, replayed=True)
-            self.replayed_count += 1
-            replayed += 1
-            self.deliveries.put(delivery)
-
-        # Catch up on messages delivered by others while we were down.
-        reply_box: Store = Store(self.sim, name=f"{self.member_name}.sync_replies")
-        self._sync_replies = reply_box
-        self._post_view(self.KIND_SYNC_REQUEST,
-                        {"member": self.member_name,
-                         "have_up_to": self._delivered_seq})
-        timeout = self.sim.timeout(rejoin_timeout)
-        first_reply = reply_box.get()
-        outcome = yield self.sim.any_of([first_reply, timeout])
-        if first_reply in outcome:
-            for entry in sorted(first_reply.value["entries"],
-                                key=lambda e: e["sequence"]):
-                if entry["broadcast_id"] in self._delivered_ids:
-                    continue
-                self._delivered_ids.add(entry["broadcast_id"])
-                self._delivered_seq = max(self._delivered_seq, entry["sequence"])
-                self._stable_up_to = max(self._stable_up_to, entry["sequence"])
-                self._next_seq = self._delivered_seq + 1
-                self._ready.put((entry["sequence"],
-                                 _PendingMessage(broadcast_id=entry["broadcast_id"],
-                                                 payload=entry["payload"],
-                                                 sender=entry["origin"]),
-                                 True))
-        return replayed
-
-    # ------------------------------------------------------------------ catch-up protocol
-    def _on_sync_request(self, message: Message) -> None:
-        if message.payload["member"] == self.member_name:
-            return
-        have_up_to = message.payload["have_up_to"]
-        entries = [{"sequence": entry.sequence,
-                    "broadcast_id": entry.broadcast_id,
-                    "payload": entry.payload,
-                    "origin": self.member_name}
-                   for entry in self.message_log.entries()
-                   if entry.sequence > have_up_to]
-        self._post(self.KIND_SYNC_REPLY, message.payload["member"],
-                   {"entries": entries, "member": self.member_name})
-
-    def _on_sync_reply(self, message: Message) -> None:
-        box = getattr(self, "_sync_replies", None)
-        if box is not None:
-            box.put(message.payload)
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<DeliveryJournal entries={len(self.log)}>"

@@ -1,0 +1,197 @@
+"""The fixed-sequencer total-order engine (the classical LAN scheme).
+
+This is the seed's ordering protocol, extracted verbatim from the fused
+endpoint into a :class:`~repro.gcs.total_order.TotalOrderEngine` subclass —
+its event schedules are bit-identical to the pre-decomposition code (pinned
+by the golden-digest tests).  The scheme is representative of what LAN
+group-communication toolkits do and produces the ~1 ms broadcast cost the
+paper quotes for a 100 Mb/s LAN:
+
+1. the sender ships ``DATA(m)`` to the current *sequencer* (the first member
+   of the current view);
+2. the sequencer assigns the next global sequence number and ships
+   ``SEQ(seq, m)`` to every view member (including itself);
+3. every member buffers the message and acknowledges with ``ACK(seq)``;
+4. once a quorum (majority of the static group) has acknowledged ``seq``, the
+   sequencer ships ``STABLE(up_to=seq)``; members A-deliver messages in
+   sequence order once they are covered by the stability horizon.
+
+Step 4 is what makes the delivery *uniform*: no member delivers a message
+that could still be lost by the crash of a minority.  What the primitive does
+**not** give — and this is the crux of the paper — is any guarantee that the
+application has *processed* a delivered message: delivery only means the
+message reached the application boundary.  The end-to-end composition
+(:mod:`repro.gcs.end_to_end`) adds that missing guarantee.
+
+When the sequencer crashes, the next live member (view primary) takes over:
+it collects the group's pending assignments (``VC_REQUEST``/``VC_STATE``)
+and re-propagates every known assignment so all members can re-acknowledge.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Set
+
+from ..core.layers import implements, uses
+from ..network.message import Message
+from .total_order import TotalOrderEngine, _PendingMessage
+
+
+@implements("total_order")
+@uses("reliable_broadcast")
+class FixedSequencerEngine(TotalOrderEngine):
+    """The group-communication component of one server (fixed sequencer)."""
+
+    engine_name = "fixed-sequencer"
+
+    #: Message-kind namespace used on the shared per-node dispatcher.
+    KIND_DATA = "ABCAST.DATA"
+    KIND_SEQ = "ABCAST.SEQ"
+    KIND_ACK = "ABCAST.ACK"
+    KIND_STABLE = "ABCAST.STABLE"
+    KIND_VC_REQUEST = "ABCAST.VC_REQUEST"
+    KIND_VC_STATE = "ABCAST.VC_STATE"
+
+    # ------------------------------------------------------------------ engine contract
+    def coordinator(self) -> Optional[str]:
+        """The sequencer: the first member of the current view."""
+        return self.group.view().primary
+
+    def _register_engine_handlers(self) -> None:
+        handlers = {
+            self.KIND_DATA: self._on_data,
+            self.KIND_SEQ: self._on_seq,
+            self.KIND_ACK: self._on_ack,
+            self.KIND_STABLE: self._on_stable,
+            self.KIND_VC_REQUEST: self._on_vc_request,
+            self.KIND_VC_STATE: self._on_vc_state,
+        }
+        for kind, handler in handlers.items():
+            self.dispatcher.register(kind, handler)
+
+    def _reset_engine_state(self) -> None:
+        self._stable_up_to = 0
+        # Sequencer-only state.
+        self._next_seq = 1
+        self._assigned: Dict[int, _PendingMessage] = {}
+        self._acks: Dict[int, Set[str]] = {}
+        self._sequenced_ids: Set[str] = set()
+
+    def _submit(self, broadcast_id: str, payload: Any, target: str) -> None:
+        self._post(self.KIND_DATA, target,
+                   {"broadcast_id": broadcast_id, "payload": payload,
+                    "origin": self.member_name})
+
+    def _deliverable_up_to(self) -> float:
+        return self._stable_up_to
+
+    def _engine_install_horizon(self, sequence: int) -> None:
+        self._stable_up_to = sequence
+        self._next_seq = sequence + 1
+
+    def _engine_merge_horizon(self, sequence: int) -> None:
+        self._stable_up_to = max(self._stable_up_to, sequence)
+        self._next_seq = self._delivered_seq + 1
+
+    def _on_coordinator_change(self, view: Any, coordinator: str) -> None:
+        # If we just became the sequencer, collect the group's pending state
+        # so assignments known to others survive the handoff.
+        if coordinator == self.member_name:
+            self._post_view(self.KIND_VC_REQUEST, {"view_id": view.view_id})
+
+    # ------------------------------------------------------------------ handlers
+    def _on_data(self, message: Message) -> None:
+        if not self.is_sequencer:
+            # A stale sender; forward to the real sequencer.
+            sequencer = self.coordinator()
+            if sequencer and sequencer != self.member_name:
+                self._post(self.KIND_DATA, sequencer, message.payload)
+            return
+        payload = message.payload
+        broadcast_id = payload["broadcast_id"]
+        if broadcast_id in self._sequenced_ids:
+            return  # duplicate resend after a view change
+        sequence = self._next_seq
+        self._next_seq += 1
+        entry = _PendingMessage(broadcast_id=broadcast_id,
+                                payload=payload["payload"],
+                                sender=payload["origin"])
+        self._assigned[sequence] = entry
+        self._sequenced_ids.add(broadcast_id)
+        self._post_view(self.KIND_SEQ,
+                        {"sequence": sequence, "broadcast_id": broadcast_id,
+                         "payload": entry.payload, "origin": entry.sender})
+
+    def _on_seq(self, message: Message) -> None:
+        payload = message.payload
+        sequence = payload["sequence"]
+        broadcast_id = payload["broadcast_id"]
+        self._pending[sequence] = _PendingMessage(
+            broadcast_id=broadcast_id, payload=payload["payload"],
+            sender=payload["origin"])
+        self._unsequenced.pop(broadcast_id, None)
+        sequencer = message.sender
+        self._post(self.KIND_ACK, sequencer,
+                   {"sequence": sequence, "member": self.member_name})
+        self._try_deliver()
+
+    def _on_ack(self, message: Message) -> None:
+        if not self.is_sequencer:
+            return
+        payload = message.payload
+        sequence = payload["sequence"]
+        self._acks.setdefault(sequence, set()).add(payload["member"])
+        self._advance_stability()
+
+    def _advance_stability(self) -> None:
+        quorum = self.group.quorum_size()
+        new_stable = self._stable_up_to
+        while True:
+            candidate = new_stable + 1
+            if candidate not in self._assigned:
+                break
+            if len(self._acks.get(candidate, ())) < quorum:
+                break
+            new_stable = candidate
+        if new_stable > self._stable_up_to:
+            self._post_view(self.KIND_STABLE, {"up_to": new_stable})
+
+    def _on_stable(self, message: Message) -> None:
+        up_to = message.payload["up_to"]
+        if up_to > self._stable_up_to:
+            self._stable_up_to = up_to
+        self._try_deliver()
+
+    # ------------------------------------------------------------------ sequencer handoff
+    def _on_vc_request(self, message: Message) -> None:
+        pending = {seq: (entry.broadcast_id, entry.payload, entry.sender)
+                   for seq, entry in self._pending.items()}
+        self._post(self.KIND_VC_STATE, message.sender,
+                   {"pending": pending, "delivered_seq": self._delivered_seq,
+                    "stable_up_to": self._stable_up_to,
+                    "member": self.member_name})
+
+    def _on_vc_state(self, message: Message) -> None:
+        if not self.is_sequencer:
+            return
+        payload = message.payload
+        for sequence, (broadcast_id, data, origin) in payload["pending"].items():
+            if sequence not in self._assigned:
+                self._assigned[sequence] = _PendingMessage(
+                    broadcast_id=broadcast_id, payload=data, sender=origin)
+                self._sequenced_ids.add(broadcast_id)
+        highest_known = max([payload["delivered_seq"], payload["stable_up_to"],
+                             self._stable_up_to, self._delivered_seq] +
+                            list(self._assigned))  if self._assigned else \
+            max(payload["delivered_seq"], payload["stable_up_to"],
+                self._stable_up_to, self._delivered_seq)
+        self._next_seq = max(self._next_seq, highest_known + 1)
+        self._stable_up_to = max(self._stable_up_to,
+                                 min(payload["stable_up_to"], highest_known))
+        # Re-propagate every assignment we know about so that all members can
+        # (re-)acknowledge; receivers ignore duplicates they already delivered.
+        for sequence, entry in sorted(self._assigned.items()):
+            self._post_view(self.KIND_SEQ,
+                            {"sequence": sequence,
+                             "broadcast_id": entry.broadcast_id,
+                             "payload": entry.payload, "origin": entry.sender})

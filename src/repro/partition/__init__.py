@@ -11,9 +11,8 @@ drivers keep submitting.
 
 * :mod:`~repro.partition.routing` — the epoch-versioned ownership map:
   key-range -> group assignments, split/merge/migrate, fences,
-  WAL-recoverable epoch bumps;
-* :mod:`~repro.partition.partitioner` — the deprecated static hash/range
-  partitioners, kept as thin shims over epoch-0 routing tables;
+  WAL-recoverable epoch bumps (``RoutingTable.from_strategy`` builds the
+  static hash/range layouts the retired partitioner shims used to provide);
 * :mod:`~repro.partition.router` — snapshot-based single- vs.
   multi-partition classification and program splitting;
 * :mod:`~repro.partition.coordinator` — the cross-partition atomic-commit
@@ -35,10 +34,8 @@ from .controller import ControllerStats, RebalanceController
 from .coordinator import (ABORT_TIMEOUT, ABORT_UNAVAILABLE, ABORT_VALIDATION,
                           ABORT_WRONG_EPOCH, BranchOutcome,
                           CrossPartitionCoordinator, CrossPartitionOutcome)
-from .partitioner import (STRATEGIES, HashPartitioner, Partitioner,
-                          RangePartitioner, make_partitioner)
 from .router import TransactionRouter
-from .routing import (KeyRange, RoutingSnapshot, RoutingTable,
+from .routing import (STRATEGIES, KeyRange, RoutingSnapshot, RoutingTable,
                       ShardAssignment, WrongEpochError, position_of_key)
 from .stats import (PartitionedRunStatistics, collect_statistics,
                     render_partition_table)
@@ -63,10 +60,6 @@ __all__ = [
     "KeyRange",
     "WrongEpochError",
     "position_of_key",
-    "Partitioner",
-    "HashPartitioner",
-    "RangePartitioner",
-    "make_partitioner",
     "STRATEGIES",
     "TransactionRouter",
     "PartitionedWorkloadGenerator",

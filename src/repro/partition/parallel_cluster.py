@@ -114,6 +114,9 @@ class ShardScenario:
     trace: bool = False
     #: Attach span tracers and return per-shard Chrome trace payloads.
     observe: bool = False
+    #: Total-order broadcast engine each shard's replica group runs on
+    #: (registry name, see :mod:`repro.gcs.engines`).
+    broadcast_engine: str = "fixed-sequencer"
 
     @property
     def lookahead(self) -> float:
@@ -208,7 +211,8 @@ class ShardWorld:
             Observability(self.sim)
         params = SimulationParameters.small(
             server_count=scenario.servers_per_shard,
-            item_count=scenario.items_per_shard)
+            item_count=scenario.items_per_shard).with_overrides(
+                broadcast_engine=scenario.broadcast_engine)
         self.cluster = ReplicatedDatabaseCluster(
             scenario.technique, params=params, sim=self.sim,
             name_prefix=f"p{shard_id}.")

@@ -1,121 +1,23 @@
-"""Keyspace partitioning strategies — **compatibility shim**.
+"""Removed: the static hash/range partitioner shims.
 
-.. deprecated::
-    The static :class:`Partitioner` hierarchy is superseded by the
-    epoch-versioned :class:`~repro.partition.routing.RoutingTable`, which
-    supports online shard split/merge and live key migration.  The classes
-    here remain as thin shims over an epoch-0 routing snapshot so existing
-    call sites (and the deterministic seed mappings they rely on) keep
-    working bit-for-bit; new code should build a
-    :class:`~repro.partition.routing.RoutingTable` directly.
+The :class:`Partitioner` hierarchy that used to live here (``Partitioner``,
+``HashPartitioner``, ``RangePartitioner``, ``make_partitioner``) was a
+compatibility layer over epoch-0 routing snapshots.  It is gone; the
+epoch-versioned :class:`~repro.partition.routing.RoutingTable` is the one
+ownership map, and it reproduces the seed placements bit-for-bit::
 
-A :class:`Partitioner` maps every item key to the id of the replica group
-(partition) that owns it:
+    from repro.partition import RoutingTable
 
-* :class:`HashPartitioner` — a stable CRC32 hash of the key modulo the
-  partition count;
-* :class:`RangePartitioner` — contiguous index ranges over the conventional
-  ``item-<i>`` keys.
+    table = RoutingTable.from_strategy("hash", group_count)
+    table = RoutingTable.from_strategy("range", group_count, item_count)
 
-Both are deterministic functions of the key alone (no salted ``hash()``), so
-the mapping is identical across runs and across processes — a requirement
-for the reproducibility discipline of the simulation study.
+This module raises on import for one release so stale callers get a
+pointer instead of an AttributeError deep inside their run.
 """
 
-from __future__ import annotations
-
-from typing import Dict, Iterable, List
-
-from .routing import STRATEGIES, RoutingTable
-
-__all__ = ["Partitioner", "HashPartitioner", "RangePartitioner",
-           "make_partitioner", "STRATEGIES"]
-
-
-class Partitioner:
-    """Base class: a deterministic, *frozen* key -> partition-id mapping.
-
-    Deprecated in favour of :class:`~repro.partition.routing.RoutingTable`;
-    kept as the stable protocol (``partition_count`` / ``partition_of`` /
-    ``partitions_of`` / ``partition_keys``) that routing snapshots also
-    implement.
-    """
-
-    #: The epoch-0 routing table backing this partitioner (None for direct
-    #: subclasses that override :meth:`partition_of` themselves).
-    table: RoutingTable = None
-
-    def __init__(self, partition_count: int) -> None:
-        if partition_count < 1:
-            raise ValueError(
-                f"partition count must be >= 1, got {partition_count!r}")
-        self.partition_count = partition_count
-
-    def partition_of(self, key: str) -> int:
-        """The id (``0 .. partition_count-1``) of the partition owning ``key``."""
-        raise NotImplementedError
-
-    def partitions_of(self, keys: Iterable[str]) -> List[int]:
-        """Sorted ids of all partitions touched by ``keys``."""
-        return sorted({self.partition_of(key) for key in keys})
-
-    def partition_keys(self, keys: Iterable[str]) -> Dict[int, List[str]]:
-        """Group ``keys`` by owning partition, preserving order within each."""
-        grouped: Dict[int, List[str]] = {}
-        for key in keys:
-            grouped.setdefault(self.partition_of(key), []).append(key)
-        return grouped
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"<{type(self).__name__} partitions={self.partition_count}>"
-
-
-class HashPartitioner(Partitioner):
-    """Stable hash partitioning: ``crc32(key) % partition_count``.
-
-    Shim over an epoch-0 ``"hash"`` routing table (one position slot per
-    group), preserving the historical placement bit-for-bit.
-    """
-
-    def __init__(self, partition_count: int) -> None:
-        super().__init__(partition_count)
-        self.table = RoutingTable.from_strategy("hash", partition_count)
-
-    def partition_of(self, key: str) -> int:
-        return self.table.partition_of(key)
-
-
-class RangePartitioner(Partitioner):
-    """Contiguous ranges of the ``item-<i>`` keyspace.
-
-    Item index ``i`` of an ``item_count``-item database belongs to partition
-    ``i * partition_count // item_count``; keys that do not follow the
-    ``<anything>-<integer>`` convention fall back to hash placement so the
-    partitioner stays total.  Shim over an epoch-0 ``"range"`` routing
-    table whose shard boundaries reproduce exactly that formula.
-    """
-
-    def __init__(self, partition_count: int, item_count: int) -> None:
-        super().__init__(partition_count)
-        self.item_count = item_count
-        self.table = RoutingTable.from_strategy("range", partition_count,
-                                                item_count)
-
-    def partition_of(self, key: str) -> int:
-        return self.table.partition_of(key)
-
-
-def make_partitioner(strategy: str, partition_count: int,
-                     item_count: int = 0) -> Partitioner:
-    """Build the partitioner named ``strategy`` (``"hash"`` or ``"range"``).
-
-    Deprecated: new code should call
-    :meth:`~repro.partition.routing.RoutingTable.from_strategy`.
-    """
-    if strategy == "hash":
-        return HashPartitioner(partition_count)
-    if strategy == "range":
-        return RangePartitioner(partition_count, item_count)
-    raise ValueError(
-        f"unknown partitioning strategy {strategy!r}; expected one of "
-        f"{STRATEGIES}")
+raise ImportError(
+    "repro.partition.partitioner was removed: the static Partitioner shims "
+    "are superseded by repro.partition.routing.RoutingTable, which "
+    "reproduces the same placements.  Build the ownership map with "
+    "RoutingTable.from_strategy('hash', group_count) or "
+    "RoutingTable.from_strategy('range', group_count, item_count).")

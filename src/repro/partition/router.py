@@ -19,10 +19,10 @@ synchronously at submission for fenced ranges, or at 2PC vote collection via
 ``xpartition-wrong-epoch``.  The submission path retries against a fresh
 snapshot; :attr:`wrong_epoch_retries` counts those rounds.
 
-For backward compatibility the router accepts either a
-:class:`~repro.partition.routing.RoutingTable` or a legacy (frozen)
-:class:`~repro.partition.partitioner.Partitioner`; a partitioner is simply a
-routing table that never changes epoch.
+The router accepts any object speaking the partitioner protocol
+(``partition_count`` / ``partition_of`` / ``partitions_of`` /
+``partition_keys``) — a :class:`~repro.partition.routing.RoutingTable`,
+one of its snapshots, or a frozen custom mapping that never changes epoch.
 """
 
 from __future__ import annotations
@@ -39,8 +39,9 @@ class TransactionRouter:
 
     def __init__(self, routing,
                  metrics: Optional[MetricsRegistry] = None) -> None:
-        #: The live ownership map: a RoutingTable, or a legacy Partitioner
-        #: (whose "snapshot" is itself and whose epoch is forever 0).
+        #: The live ownership map: a RoutingTable, or any frozen object
+        #: speaking the partitioner protocol (its "snapshot" is itself and
+        #: its epoch is forever 0).
         self.routing = routing
         # Routing statistics live on the metrics registry (the cluster's when
         # embedded, a private one when the router is used standalone); the

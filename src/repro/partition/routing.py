@@ -47,8 +47,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..db.wal import LogRecord, LogRecordType
 
-#: Strategy names accepted by :meth:`RoutingTable.from_strategy` (and by the
-#: :func:`repro.partition.partitioner.make_partitioner` compatibility shim).
+#: Strategy names accepted by :meth:`RoutingTable.from_strategy`.
 STRATEGIES = ("hash", "range")
 
 #: Entry cap shared by the routing memo caches (key -> position / group /
@@ -135,10 +134,9 @@ class ShardAssignment:
 class RoutingSnapshot:
     """An immutable view of the ownership map at one epoch.
 
-    Duck-compatible with the legacy :class:`~repro.partition.partitioner.
-    Partitioner` protocol (``partition_count`` / ``partition_of`` /
-    ``partitions_of`` / ``partition_keys``), so everything written against a
-    partitioner — the workload generator, the router, tests — works
+    Speaks the partitioner protocol (``partition_count`` / ``partition_of``
+    / ``partitions_of`` / ``partition_keys``), so everything written against
+    a partitioner — the workload generator, the router, tests — works
     unchanged against a snapshot.
     """
 
@@ -241,8 +239,8 @@ def snapshot_of(routing) -> object:
     """The immutable routing view of ``routing``.
 
     A :class:`RoutingTable` yields its current :class:`RoutingSnapshot`; a
-    legacy :class:`~repro.partition.partitioner.Partitioner` is its own
-    (frozen-by-construction) snapshot.
+    frozen partitioner-protocol object is its own (frozen-by-construction)
+    snapshot.
     """
     taker = getattr(routing, "snapshot", None)
     return taker() if callable(taker) else routing

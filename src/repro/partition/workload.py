@@ -10,8 +10,8 @@ the two knobs the partitioned experiments sweep:
   skewed workload concentrates on the hot head of the keyspace.
 
 The generator reads ownership from the cluster's epoch-versioned
-:class:`~repro.partition.routing.RoutingTable` (a legacy frozen
-:class:`~repro.partition.partitioner.Partitioner` still works): when a shard
+:class:`~repro.partition.routing.RoutingTable` (any frozen object speaking
+the partitioner protocol still works): when a shard
 split or a live migration bumps the epoch, the per-partition key caches are
 rebuilt lazily, so "single-partition" transactions keep landing on one
 *current* owner — the whole point of moving a hot range is that the traffic

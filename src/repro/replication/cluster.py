@@ -111,7 +111,8 @@ class ReplicatedDatabaseCluster:
                 end_to_end=(technique == "2-safe"),
                 delivery_cpu_time=self.params.cpu_time_per_network_op,
                 delivery_log_time=gcs_delivery_log_time,
-                detection_delay=self.params.failure_detection_delay)
+                detection_delay=self.params.failure_detection_delay,
+                engine=self.params.broadcast_engine)
             for name, node in self.nodes.items():
                 self._dispatchers[name] = self.gcs.dispatcher(name)
         else:

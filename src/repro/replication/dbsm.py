@@ -38,7 +38,7 @@ from ..core.layers import implements, uses
 from ..db.engine import LocalDatabase
 from ..db.operations import OperationType
 from ..db.transaction import TransactionStatus, WriteSetMessage
-from ..gcs.atomic_broadcast import AtomicBroadcastEndpoint, Delivery
+from ..gcs.total_order import Delivery, TotalOrderEngine
 from ..gcs.state_transfer import install_checkpoint, take_checkpoint
 from ..network.dispatch import Dispatcher
 from ..network.node import Node
@@ -74,7 +74,7 @@ class DatabaseStateMachineReplica(ReplicaServer):
 
     def __init__(self, sim: Simulator, node: Node, database: LocalDatabase,
                  dispatcher: Dispatcher, params: SimulationParameters,
-                 endpoint: AtomicBroadcastEndpoint,
+                 endpoint: TotalOrderEngine,
                  mode: SafetyMode = SafetyMode.GROUP_SAFE) -> None:
         super().__init__(sim, node, database, dispatcher, params)
         self.endpoint = endpoint

@@ -71,6 +71,12 @@ class SimulationParameters:
     lazy_propagation_write_factor: float = 0.45
     #: Failure-detection delay of the (perfect) failure detector (ms).
     failure_detection_delay: float = 1.0
+    #: Total-order broadcast engine the group-based techniques run on, by
+    #: registry name (see :mod:`repro.gcs.engines`).  The default is the
+    #: seed's fixed-sequencer scheme; ``"multi-paxos"`` selects the
+    #: per-slot Paxos engine.  Not a Table 4 knob — it is the comparison
+    #: axis the paper never measured.
+    broadcast_engine: str = "fixed-sequencer"
 
     # -- partitioned-replication knobs (not in the paper) ---------------------------
     #: Number of independent replica groups the keyspace is sharded across.

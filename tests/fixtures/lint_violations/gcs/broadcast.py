@@ -1,0 +1,23 @@
+"""Fixture: an upward layer-contract violation in a gcs-style module.
+
+The decomposed broadcast stack is where skip-layer discipline matters
+most, so the fixture tree carries a gcs case of its own: a reliable
+broadcast primitive that reaches *up* into membership."""
+
+
+def implements(layer):
+    def decorate(cls):
+        return cls
+    return decorate
+
+
+def uses(layer):
+    def decorate(cls):
+        return cls
+    return decorate
+
+
+@implements("reliable_broadcast")
+@uses("membership")
+class ViewAwareBroadcast:
+    """A broadcast primitive that consults views above it — forbidden."""

@@ -57,18 +57,27 @@ def test_declarations_do_not_leak_to_subclasses():
 
 
 def test_protocol_stack_is_annotated():
-    from repro.gcs.atomic_broadcast import AtomicBroadcastEndpoint
     from repro.gcs.failure_detector import FailureDetector
+    from repro.gcs.fixed_sequencer import FixedSequencerEngine
     from repro.gcs.membership import GroupMembership
+    from repro.gcs.paxos import MultiPaxosEngine
+    from repro.gcs.reliable_broadcast import ReliableBroadcastLayer
     from repro.network.lan import Lan
     from repro.replication.dbsm import DatabaseStateMachineReplica
     from repro.replication.group_safe import GroupSafeReplica
 
     assert implemented_layers(Lan) == ("links",)
     assert implemented_layers(FailureDetector) == ("failure_detector",)
+    assert implemented_layers(ReliableBroadcastLayer) == \
+        ("reliable_broadcast",)
+    assert used_layers(ReliableBroadcastLayer) == ("links",)
+    assert implemented_layers(FixedSequencerEngine) == ("total_order",)
+    assert used_layers(FixedSequencerEngine) == ("reliable_broadcast",)
+    assert implemented_layers(MultiPaxosEngine) == ("total_order",)
+    assert set(used_layers(MultiPaxosEngine)) == \
+        {"reliable_broadcast", "failure_detector"}
     assert implemented_layers(GroupMembership) == ("membership",)
-    assert implemented_layers(AtomicBroadcastEndpoint) == ("total_order",)
-    assert "membership" in used_layers(AtomicBroadcastEndpoint)
+    assert used_layers(GroupMembership) == ("failure_detector",)
     assert implemented_layers(DatabaseStateMachineReplica) == ("replication",)
     assert used_layers(DatabaseStateMachineReplica) == ("total_order",)
     assert implemented_layers(GroupSafeReplica) == ("replication",)

@@ -351,9 +351,9 @@ def test_layer_rule_flags_upward_import_between_modules(tmp_path):
 def test_layer_rule_strict_adjacency_flags_skip_layer(tmp_path):
     files = {
         "stack.py": _LAYER_PRELUDE + textwrap.dedent("""\
-            @implements("replication")
+            @implements("membership")
             @uses("links")
-            class SkipsPastEverything:
+            class SkipsPastTotalOrder:
                 pass
             """),
     }
@@ -363,6 +363,45 @@ def test_layer_rule_strict_adjacency_flags_skip_layer(tmp_path):
     assert relaxed.findings == []
     assert rule_names(strict) == ["layer-contract"]
     assert "skip-layer" in strict.findings[0].message
+    assert "past 'total_order'" in strict.findings[0].message
+
+
+def test_layer_rule_strict_adjacency_treats_failure_detector_as_oracle(
+        tmp_path):
+    # The failure detector is consulted, never routed through: any layer may
+    # reach down to it, and it is transparent when computing adjacency (a
+    # reliable-broadcast primitive sits directly on the links).
+    report = lint_tree(tmp_path, {
+        "stack.py": _LAYER_PRELUDE + textwrap.dedent("""\
+            @implements("reliable_broadcast")
+            @uses("links")
+            class PointToPointFlood:
+                pass
+
+            @implements("membership")
+            @uses("total_order")
+            @uses("failure_detector")
+            class ViewManager:
+                pass
+            """),
+    }, [LayerContractRule(strict_adjacency=True)])
+    assert report.findings == []
+
+
+def test_layer_rule_strict_adjacency_exempts_the_application_layer(tmp_path):
+    # The top of the stack is the application: replication composition
+    # roots wire every layer below them by design.
+    report = lint_tree(tmp_path, {
+        "stack.py": _LAYER_PRELUDE + textwrap.dedent("""\
+            @implements("replication")
+            @uses("membership")
+            @uses("total_order")
+            @uses("links")
+            class CompositionRoot:
+                pass
+            """),
+    }, [LayerContractRule(strict_adjacency=True)])
+    assert report.findings == []
 
 
 # -- suppression machinery ----------------------------------------------------------------
@@ -410,7 +449,20 @@ def test_repo_lints_clean_with_active_suppressions():
     assert report.files > 50
 
 
+def test_repo_lints_clean_under_strict_layers():
+    # The decomposed broadcast stack routes every layer through its
+    # neighbour: strict adjacency passes with no layer-contract suppression
+    # anywhere in the tree.
+    root = Path(repro.__file__).resolve().parent
+    report = run_lint(root, default_rules(strict_layers=True))
+    assert report.findings == []
+    assert all(finding.rule != "layer-contract"
+               for finding, _ in report.suppressed)
+
+
 def test_fixture_tree_fails_with_one_finding_per_rule():
+    # layer-contract carries a second, gcs-specific case: an upward
+    # dependency inside the decomposed broadcast stack.
     report = run_lint(FIXTURE_TREE, default_rules())
     counts = report.counts_by_rule()
     assert counts == {
@@ -419,7 +471,7 @@ def test_fixture_tree_fails_with_one_finding_per_rule():
         "ordering-hazard": 1,
         "slots-consistency": 1,
         "float-time-arith": 1,
-        "layer-contract": 1,
+        "layer-contract": 2,
     }
 
 
@@ -436,12 +488,12 @@ def test_cli_exit_codes_and_json_artifact(tmp_path, capsys):
     assert code == 1
     payload = json.loads(output.read_text(encoding="utf-8"))
     assert payload["schema"] == "repro.analysis.lint/1"
-    assert payload["finding_count"] == 6
+    assert payload["finding_count"] == 7
     assert {finding["rule"] for finding in payload["findings"]} == {
         "wall-clock", "unseeded-rng", "ordering-hazard",
         "slots-consistency", "float-time-arith", "layer-contract"}
     # The failure is still announced on stderr when the report goes to a file.
-    assert "6 finding(s)" in capsys.readouterr().err
+    assert "7 finding(s)" in capsys.readouterr().err
 
 
 def test_cli_rule_filter_and_catalogue(capsys):

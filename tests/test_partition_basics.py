@@ -1,29 +1,28 @@
-"""Partitioner strategies and the transaction router."""
+"""Static routing-table layouts and the transaction router."""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.db.operations import make_program
-from repro.partition import (HashPartitioner, RangePartitioner,
-                             TransactionRouter, make_partitioner)
+from repro.partition import RoutingTable, TransactionRouter
 
 
-# ---------------------------------------------------------------- partitioners
-def test_hash_partitioner_is_deterministic_and_total():
-    partitioner = HashPartitioner(4)
+# ---------------------------------------------------------------- static layouts
+def test_hash_layout_is_deterministic_and_total():
+    table = RoutingTable.from_strategy("hash", 4)
     keys = [f"item-{index}" for index in range(200)]
-    first = [partitioner.partition_of(key) for key in keys]
-    second = [partitioner.partition_of(key) for key in keys]
+    first = [table.partition_of(key) for key in keys]
+    second = [table.partition_of(key) for key in keys]
     assert first == second
     assert all(0 <= pid < 4 for pid in first)
     # 200 keys over 4 hash buckets: every partition owns something.
     assert set(first) == {0, 1, 2, 3}
 
 
-def test_range_partitioner_keeps_ranges_contiguous():
-    partitioner = RangePartitioner(4, item_count=100)
-    assignments = [partitioner.partition_of(f"item-{index}")
+def test_range_layout_keeps_ranges_contiguous():
+    table = RoutingTable.from_strategy("range", 4, item_count=100)
+    assignments = [table.partition_of(f"item-{index}")
                    for index in range(100)]
     assert assignments == sorted(assignments)
     assert assignments[0] == 0 and assignments[-1] == 3
@@ -31,41 +30,43 @@ def test_range_partitioner_keeps_ranges_contiguous():
         assert assignments.count(pid) == 25
 
 
-def test_range_partitioner_handles_non_conventional_keys():
-    partitioner = RangePartitioner(3, item_count=90)
+def test_range_layout_handles_non_conventional_keys():
+    table = RoutingTable.from_strategy("range", 3, item_count=90)
     # Keys without a numeric suffix still get a stable home.
-    assert partitioner.partition_of("x") == partitioner.partition_of("x")
-    assert 0 <= partitioner.partition_of("x") < 3
+    assert table.partition_of("x") == table.partition_of("x")
+    assert 0 <= table.partition_of("x") < 3
     # Out-of-range indices clamp into the last partition.
-    assert partitioner.partition_of("item-500") == 2
+    assert table.partition_of("item-500") == 2
 
 
 def test_partition_keys_groups_without_losing_keys():
-    partitioner = HashPartitioner(3)
+    table = RoutingTable.from_strategy("hash", 3)
     keys = [f"item-{index}" for index in range(60)]
-    grouped = partitioner.partition_keys(keys)
+    grouped = table.partition_keys(keys)
     regrouped = [key for pid in sorted(grouped) for key in grouped[pid]]
     assert sorted(regrouped) == sorted(keys)
 
 
-def test_partitioner_validation():
+def test_layout_validation():
     with pytest.raises(ValueError):
-        HashPartitioner(0)
+        RoutingTable.from_strategy("hash", 0)
     with pytest.raises(ValueError):
-        RangePartitioner(8, item_count=4)
+        RoutingTable.from_strategy("range", 8, item_count=4)
     with pytest.raises(ValueError):
-        make_partitioner("consistent-hashing", 4)
+        RoutingTable.from_strategy("consistent-hashing", 4)
 
 
-def test_make_partitioner_builds_both_strategies():
-    assert isinstance(make_partitioner("hash", 2), HashPartitioner)
-    assert isinstance(make_partitioner("range", 2, item_count=10),
-                      RangePartitioner)
+def test_partitioner_shim_is_gone_with_a_pointer():
+    # The one-release tombstone: importing the retired module fails with a
+    # message naming the replacement.
+    with pytest.raises(ImportError, match="RoutingTable.from_strategy"):
+        import repro.partition.partitioner  # noqa: F401
 
 
 # ---------------------------------------------------------------- router
 def router_over_ranges():
-    return TransactionRouter(RangePartitioner(4, item_count=100))
+    return TransactionRouter(
+        RoutingTable.from_strategy("range", 4, item_count=100))
 
 
 def test_router_classifies_single_partition():

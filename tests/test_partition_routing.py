@@ -4,9 +4,11 @@ from __future__ import annotations
 
 import pytest
 
+import zlib
+
 from repro.db.wal import LogRecord, LogRecordType
-from repro.partition import (HashPartitioner, KeyRange, RangePartitioner,
-                             RoutingTable, ShardAssignment, WrongEpochError)
+from repro.partition import (KeyRange, RoutingTable, ShardAssignment,
+                             WrongEpochError)
 
 
 def range_table(groups=4, items=100):
@@ -14,22 +16,25 @@ def range_table(groups=4, items=100):
 
 
 # ---------------------------------------------------------------- construction
-def test_range_table_reproduces_the_seed_range_partitioner():
+def test_range_table_reproduces_the_seed_range_placement():
+    # The retired RangePartitioner placed item index i of an item_count-item
+    # database into partition ``i * partition_count // item_count``; the
+    # epoch-0 range table must keep that mapping bit-for-bit.
     table = range_table(4, 100)
-    legacy = RangePartitioner(4, 100)
     for index in range(100):
         key = f"item-{index}"
-        assert table.partition_of(key) == legacy.partition_of(key)
+        assert table.partition_of(key) == index * 4 // 100
     assert table.epoch == 0
     assert table.shard_count == 4
 
 
-def test_hash_table_reproduces_the_seed_hash_partitioner():
+def test_hash_table_reproduces_the_seed_hash_placement():
+    # The retired HashPartitioner placed keys by ``crc32(key) % count``.
     table = RoutingTable.from_strategy("hash", 4)
-    legacy = HashPartitioner(4)
     for index in range(200):
         key = f"item-{index}"
-        assert table.partition_of(key) == legacy.partition_of(key)
+        assert table.partition_of(key) == \
+            zlib.crc32(key.encode("utf-8")) % 4
 
 
 def test_table_validates_cover_and_strategy():
@@ -301,9 +306,8 @@ def test_payload_after_migrate_is_the_write_ahead_image():
     assert recovered.partition_of("item-10") == 1
 
 
-# ---------------------------------------------------------------- shim
-def test_partitioner_shim_is_backed_by_a_routing_table():
-    legacy = RangePartitioner(4, 100)
-    assert legacy.table.epoch == 0
-    assert legacy.partition_keys([f"item-{i}" for i in range(100)]) == \
-        legacy.table.partition_keys([f"item-{i}" for i in range(100)])
+# ---------------------------------------------------------------- protocol
+def test_table_and_snapshot_agree_on_partition_keys():
+    table = range_table(4, 100)
+    keys = [f"item-{i}" for i in range(100)]
+    assert table.partition_keys(keys) == table.snapshot().partition_keys(keys)

@@ -6,7 +6,7 @@ from collections import Counter
 
 import pytest
 
-from repro.partition import (HashPartitioner, PartitionedWorkloadGenerator,
+from repro.partition import (PartitionedWorkloadGenerator, RoutingTable,
                              TransactionRouter)
 from repro.sim import Simulator
 from repro.workload import SimulationParameters, WorkloadGenerator
@@ -78,10 +78,10 @@ def test_negative_skew_rejected():
 def make_generator(seed=7, cross=0.3, items=120, partitions=4, skew=0.0):
     params = SimulationParameters.small(item_count=items).with_overrides(
         cross_partition_probability=cross, zipf_skew=skew)
-    partitioner = HashPartitioner(partitions)
+    table = RoutingTable.from_strategy("hash", partitions)
     return (PartitionedWorkloadGenerator(Simulator(seed=seed), params,
-                                         partitioner),
-            TransactionRouter(partitioner))
+                                         table),
+            TransactionRouter(table))
 
 
 def test_partitioned_generation_is_deterministic():
@@ -108,10 +108,10 @@ def test_full_probability_generates_only_spanning_programs():
 def test_span_is_respected():
     params = SimulationParameters.small(item_count=120).with_overrides(
         cross_partition_probability=1.0, cross_partition_span=3)
-    partitioner = HashPartitioner(4)
+    table = RoutingTable.from_strategy("hash", 4)
     generator = PartitionedWorkloadGenerator(Simulator(seed=2), params,
-                                             partitioner)
-    router = TransactionRouter(partitioner)
+                                             table)
+    router = TransactionRouter(table)
     for _ in range(30):
         assert len(router.partitions_of(generator.next_program())) == 3
 
@@ -124,9 +124,9 @@ def test_single_partition_traffic_preserves_the_global_distribution():
     from collections import Counter
     params = SimulationParameters.small(item_count=400).with_overrides(
         zipf_skew=1.0)
-    partitioner = HashPartitioner(8)
+    table = RoutingTable.from_strategy("hash", 8)
     generator = PartitionedWorkloadGenerator(Simulator(seed=2), params,
-                                             partitioner)
+                                             table)
     key_counts: Counter = Counter()
     partition_counts: Counter = Counter()
     total_ops = 0
@@ -135,7 +135,7 @@ def test_single_partition_traffic_preserves_the_global_distribution():
         for op in program.operations:
             key_counts[op.key] += 1
             total_ops += 1
-        partition_counts[partitioner.partition_of(
+        partition_counts[table.partition_of(
             program.operations[0].key)] += 1
     true_hot_share = 1.0 / sum(1.0 / (rank + 1) for rank in range(400))
     measured_hot_share = key_counts["item-0"] / total_ops
@@ -150,12 +150,11 @@ def test_every_partition_must_own_items():
     params = SimulationParameters.small(item_count=2)
     with pytest.raises(ValueError):
         PartitionedWorkloadGenerator(Simulator(seed=1), params,
-                                     HashPartitioner(8))
+                                     RoutingTable.from_strategy("hash", 8))
 
 
 # ---------------------------------------------------------------- epoch refresh
 def test_generator_follows_ownership_across_an_epoch_change():
-    from repro.partition import RoutingTable
     params = SimulationParameters.small(item_count=100).with_overrides(
         cross_partition_probability=0.0)
     table = RoutingTable.from_strategy("range", 2, 100)
