@@ -160,6 +160,77 @@ def partitioned_loss_condition(
                for level, group_fails, delegate_crashes in branches)
 
 
+# ----------------------------------------------------------------- netsplit predictions
+#: Network fault kinds the netsplit matrix predicts outcomes for.
+NETSPLIT_FAULT_KINDS = ("partition", "asymmetric", "lossy", "slow",
+                        "gray-disk", "gray-cpu")
+
+
+@dataclass(frozen=True)
+class NetsplitPrediction:
+    """Predicted outcome of one netsplit-matrix cell (Table 2/3 style).
+
+    The three verdicts are tri-state: ``True`` / ``False`` are commitments
+    the matrix checks against observation, ``None`` means the cell's
+    behaviour is not predicted (e.g. progress under probabilistic loss) and
+    only the safety invariants are enforced.
+    """
+
+    #: Can the minority side confirm transactions during the fault?
+    #: ``True`` = it must block (zero confirmed commits).
+    minority_blocks: Optional[bool]
+    #: Does the majority side keep confirming transactions during the fault?
+    majority_progress: Optional[bool]
+    #: Can a *confirmed* transaction be lost?  Always ``False`` here: link
+    #: faults crash nobody, so every criterion keeps its confirmed
+    #: transactions (the group never "fails" in the Table 3 sense).
+    possible_loss: bool
+
+
+def netsplit_outcome(fault_kind: str, coordinator_in_minority: bool,
+                     detector_sees_fault: bool) -> NetsplitPrediction:
+    """Derive the predicted outcome of a network-fault cell.
+
+    The derivation follows from the quorum discipline of the total-order
+    engines and the failure-detector contract:
+
+    * a **partition** (or an asymmetric fault muting the minority's
+      outbound links) starves the minority of a quorum, so the minority
+      always blocks — for *both* engines; split-brain would require two
+      disjoint quorums, which majorities cannot form;
+    * the **majority** makes progress iff it contains a working ordering
+      coordinator (the fixed sequencer / the Paxos coordinator).  With the
+      coordinator on the majority side, quorum ACKs alone suffice — even a
+      detector that cannot see the fault does not stop progress.  With the
+      coordinator in the minority, progress needs a view change, i.e. a
+      detector that actually *sees* the fault (timeout shorter than the
+      fault).  The perfect oracle detector only fires on crashes, so under
+      it a partitioned-away coordinator blocks the majority indefinitely;
+    * **lossy** links make progress probabilistic on both sides — the
+      matrix predicts nothing about progress and checks only safety;
+    * **slow** links and the gray failures (degraded disk, slow CPU) delay
+      but deliver: everything keeps committing, just late;
+    * no cell can lose a *confirmed* transaction: nothing crashes, so every
+      server that logged a commit still has it.
+    """
+    if fault_kind not in NETSPLIT_FAULT_KINDS:
+        raise ValueError(f"unknown fault kind {fault_kind!r}; expected one "
+                         f"of {NETSPLIT_FAULT_KINDS}")
+    if fault_kind in ("partition", "asymmetric"):
+        return NetsplitPrediction(
+            minority_blocks=True,
+            majority_progress=(not coordinator_in_minority
+                               or detector_sees_fault),
+            possible_loss=False)
+    if fault_kind == "lossy":
+        return NetsplitPrediction(minority_blocks=None,
+                                  majority_progress=None,
+                                  possible_loss=False)
+    # slow links and gray failures: delayed, never denied.
+    return NetsplitPrediction(minority_blocks=False, majority_progress=True,
+                              possible_loss=False)
+
+
 def group_safety_comparison_table() -> List[LossCondition]:
     """Table 3: group-safe vs group-1-safe under the three failure patterns."""
     patterns = (

@@ -291,6 +291,16 @@ class LocalDatabase:
         """Transaction ids whose commit record is durable on this server."""
         return self.wal.committed_transactions()
 
+    # -- gray failures ------------------------------------------------------------
+    def degrade_disk(self, factor: float) -> None:
+        """Inflate this server's WAL flush times by ``factor`` (see
+        :meth:`repro.db.wal.WriteAheadLog.degrade_disk`)."""
+        self.wal.degrade_disk(factor)
+
+    def restore_disk(self) -> None:
+        """End a :meth:`degrade_disk` episode."""
+        self.wal.restore_disk()
+
     # ------------------------------------------------------------------ crash hook
     def _on_node_event(self, node: Node, event: str) -> None:
         if event == "crash":

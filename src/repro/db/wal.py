@@ -81,6 +81,11 @@ class WriteAheadLog:
             f"{name}.stable", StableLog(f"{node.name}.{name}"))
         self._next_lsn = len(self._stable)
         self._flush_gates: Dict[str, Gate] = {}
+        #: Gray-failure knob: multiplier on the physical flush time
+        #: (:meth:`degrade_disk`).  Applied *after* the random draw, so the
+        #: ``{node}.log_write`` stream consumption — and therefore every
+        #: other stream — is unchanged by a degradation.
+        self._disk_factor = 1.0
         #: Number of physical flush operations performed (for statistics).
         self.flush_count = 0
 
@@ -113,10 +118,25 @@ class WriteAheadLog:
         return self.append(LogRecord(LogRecordType.EPOCH, f"epoch-{epoch}",
                                      payload=dict(payload)))
 
+    # -- gray failures ----------------------------------------------------------
+    def degrade_disk(self, factor: float) -> None:
+        """Inflate every subsequent flush time by ``factor`` (a failing but
+        not failed disk — the gray-failure mode of the netsplit matrix)."""
+        if factor < 1.0:
+            raise ValueError("a degradation factor must be >= 1")
+        self._disk_factor = factor
+
+    def restore_disk(self) -> None:
+        """End a :meth:`degrade_disk` episode."""
+        self._disk_factor = 1.0
+
     # -- flush ------------------------------------------------------------------
     def _flush_duration(self) -> float:
-        return self._log_write_stream.uniform(self.write_time_low,
-                                              self.write_time_high)
+        duration = self._log_write_stream.uniform(self.write_time_low,
+                                                  self.write_time_high)
+        if self._disk_factor != 1.0:
+            duration *= self._disk_factor
+        return duration
 
     def flush(self):
         """Generator: force the volatile tail to stable storage.

@@ -1,0 +1,782 @@
+"""Netsplit and gray-failure matrix: link faults and imperfect detection.
+
+The crash-stop matrices (:mod:`repro.experiments.failure_matrix`,
+:mod:`repro.experiments.partition_failure_matrix`) inject *crashes*; this
+module injects the failures a LAN actually produces — netsplits, asymmetric
+and lossy links, slow links, and gray failures (alive-but-degraded disks
+and CPUs) — and confronts the derived predictions of
+:func:`repro.core.matrix.netsplit_outcome` with observed behaviour of both
+total-order engines under both failure-detector modes.
+
+Every cell is one (engine × fault pattern × detector configuration)
+simulation of a three-server ``group-1-safe`` replica group:
+
+1. two writes are confirmed while the network is healthy;
+2. the fault is installed for a fixed window
+   (:data:`FAULT_START`–:data:`FAULT_END`) via
+   :meth:`~repro.network.lan.Lan.schedule_fault` (or the gray-failure
+   degradation knobs);
+3. during the window, transactions are submitted through a majority-side
+   delegate and through the minority member, and their confirmations are
+   counted per side — the observed progress/blocking axes;
+4. the fault heals, stale minority members are resynchronised through the
+   tested crash-recovery machinery (the "operator resync" a real deployment
+   performs after a split), and fresh probes must commit on both sides;
+5. the per-key commit-integrity audit checks every confirmed write is still
+   committed and served by every server, and that all servers converged to
+   identical values — divergence here is the split-brain signature.
+
+Detector configurations: ``perfect`` (the oracle detector — blind to
+partitions by construction), ``hb-fast`` (heartbeat detection with a
+timeout well inside the fault window: the fault *is* detected, views
+change, the majority fails over) and ``hb-slow`` (timeout longer than the
+fault: the detector never fires, equivalent to blindness).
+
+Two partitioned-cluster cells ride along per engine: a netsplit isolating
+a destination-group member during a live migration's write fence
+(``migration-fence-split``) and a degraded-disk participant shard under
+cross-partition 2PC (``gray-2pc-participant``).
+
+**Soundness** per cell: no confirmed transaction lost, no value divergence
+(split-brain), a predicted-blocked minority really confirms nothing, and
+the cluster is fully available again after the heal.  **Prediction match**:
+the progress/blocking verdicts of :func:`netsplit_outcome` are observed.
+The matrix must demonstrate at least one minority-blocking cell per engine.
+
+When no fault is installed and the perfect detector is selected (the
+defaults), none of this machinery runs and event schedules stay
+bit-identical to the seed — pinned by the golden-trace tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.matrix import NetsplitPrediction, netsplit_outcome
+from ..db.operations import Operation, OperationType, TransactionProgram
+from ..network.faults import LinkFault
+from ..partition.cluster import PartitionedCluster
+from ..replication.cluster import ReplicatedDatabaseCluster
+from ..workload.params import SimulationParameters
+from .partition_failure_matrix import (ConfirmedWrite, _advance_until,
+                                       audit_confirmed_writes)
+
+#: Replication technique of the group cells: group delivery plus a
+#: synchronous delegate flush, so degraded disks are visible in the
+#: client-observed latency.
+GROUP_TECHNIQUE = "group-1-safe"
+
+#: The fault window of every cell (simulated ms).
+FAULT_START = 300.0
+FAULT_END = 900.0
+
+#: Detector configurations (parameter overrides for the cell's cluster).
+DETECTOR_CONFIGS: Dict[str, Dict[str, object]] = {
+    "perfect": {"failure_detector_mode": "perfect"},
+    "hb-fast": {"failure_detector_mode": "heartbeat",
+                "heartbeat_period": 10.0, "heartbeat_timeout": 60.0},
+    "hb-slow": {"failure_detector_mode": "heartbeat",
+                "heartbeat_period": 10.0, "heartbeat_timeout": 2000.0},
+}
+
+#: Group fault patterns: name -> (fault kind, minority members,
+#: coordinator-in-minority).  The ordering coordinator of both engines is
+#: initially ``s1`` (first member in static order).
+GROUP_FAULT_PATTERNS: Dict[str, Tuple[str, Tuple[str, ...], bool]] = {
+    "split-minority-coordinator": ("partition", ("s1",), True),
+    "split-minority-follower": ("partition", ("s3",), False),
+    "asymmetric-mute-follower": ("asymmetric", ("s3",), False),
+    "lossy-follower-link": ("lossy", ("s3",), False),
+    "slow-follower-link": ("slow", ("s3",), False),
+    "gray-degraded-disk": ("gray-disk", (), False),
+    "gray-slow-cpu": ("gray-cpu", (), False),
+}
+
+#: Partitioned-cluster patterns run once per engine (perfect detector).
+PARTITIONED_FAULT_PATTERNS = ("migration-fence-split", "gray-2pc-participant")
+
+#: Reduced cell set of the CI ``--smoke`` run: still spans a blocked
+#: coordinator, a progressing majority and a lossy link, under both a blind
+#: and a detecting detector, plus both partitioned cells.
+SMOKE_GROUP_PATTERNS = ("split-minority-coordinator",
+                        "split-minority-follower", "lossy-follower-link")
+SMOKE_DETECTORS = ("perfect", "hb-fast")
+
+
+# --------------------------------------------------------------------------- outcome type
+@dataclass
+class NetsplitCellOutcome:
+    """Everything one netsplit cell produced, audited."""
+
+    engine: str
+    fault_pattern: str
+    detector: str
+    prediction: NetsplitPrediction
+    #: Transactions confirmed through a majority-side delegate during the
+    #: fault window.
+    majority_commits: int = 0
+    #: Transactions confirmed through the minority member during the window.
+    minority_commits: int = 0
+    #: Submissions still unanswered when the cell ended (blocked clients).
+    unresolved: int = 0
+    #: Fresh transactions committed on both sides after heal + resync.
+    post_heal_ok: bool = False
+    #: All servers serve identical values for every audited key at the end.
+    converged: bool = False
+    #: A client-confirmed transaction is gone (the matrix's loss axis).
+    observed_loss: bool = False
+    audit_failures: List[str] = field(default_factory=list)
+    #: LAN drop counters by cause at the end of the cell.
+    drops_by_cause: Dict[str, int] = field(default_factory=dict)
+    #: Suspicions announced by the cell's failure detector.
+    suspicion_count: int = 0
+    #: During-fault / healthy mean confirmed latency (gray + slow cells).
+    latency_inflation: Optional[float] = None
+
+    @property
+    def sound(self) -> bool:
+        """No split-brain, no lost/duplicated commit, blocked means blocked."""
+        return (not self.observed_loss
+                and self.converged
+                and self.post_heal_ok
+                and not self.audit_failures
+                and (self.prediction.minority_blocks is not True
+                     or self.minority_commits == 0))
+
+    @property
+    def matched(self) -> bool:
+        """The tri-state progress predictions agree with the observation."""
+        majority = self.prediction.majority_progress
+        if majority is True and self.majority_commits == 0:
+            return False
+        if majority is False and self.majority_commits > 0:
+            return False
+        minority = self.prediction.minority_blocks
+        if minority is True and self.minority_commits > 0:
+            return False
+        if minority is False and self.minority_commits == 0:
+            return False
+        return True
+
+    @property
+    def demonstrates_minority_blocking(self) -> bool:
+        """The cell exhibited a blocked minority with zero losses."""
+        return (self.prediction.minority_blocks is True
+                and self.minority_commits == 0
+                and not self.observed_loss)
+
+
+# --------------------------------------------------------------------------- helpers
+def _program(values: Dict[str, object], client: str) -> TransactionProgram:
+    operations = tuple(Operation(OperationType.WRITE, key, value)
+                       for key, value in values.items())
+    return TransactionProgram(operations=operations, client=client)
+
+
+def _confirm(cluster: ReplicatedDatabaseCluster, key: str, tag: str,
+             server: str, limit_ms: float = 3_000.0):
+    """Submit one single-key update and wait for its confirmation."""
+    value = f"{tag}:{key}"
+    waiter = cluster.run_transaction(_program({key: value}, client=tag),
+                                     server=server)
+    result = cluster.sim.run_until_complete(
+        waiter, limit=cluster.sim.now + limit_ms)
+    if not result.committed:
+        raise RuntimeError(f"healthy-phase transaction on {key} failed to "
+                           f"confirm ({result.abort_reason})")
+    return result, value
+
+
+def _cell_parameters(engine: str, detector: str,
+                     params: Optional[SimulationParameters]
+                     ) -> SimulationParameters:
+    base = params or SimulationParameters.small(server_count=3,
+                                                item_count=100)
+    return base.with_overrides(broadcast_engine=engine,
+                               **DETECTOR_CONFIGS[detector])
+
+
+def _detector_sees(fault_kind: str, detector: str) -> bool:
+    """Will the configured detector see the fault before it heals?
+
+    Only quorum-starving faults (partitions, minority-muting asymmetry)
+    produce the quorum silence the heartbeat detector triggers on, and only
+    when its timeout fits inside the fault window.  The perfect detector
+    never sees a link fault.
+    """
+    if fault_kind not in ("partition", "asymmetric"):
+        return False
+    config = DETECTOR_CONFIGS[detector]
+    if config["failure_detector_mode"] != "heartbeat":
+        return False
+    return config["heartbeat_timeout"] < (FAULT_END - FAULT_START)
+
+
+# --------------------------------------------------------------------------- group cells
+def run_group_netsplit_scenario(engine: str, fault_pattern: str,
+                                detector: str, seed: int = 1,
+                                params: Optional[SimulationParameters] = None
+                                ) -> NetsplitCellOutcome:
+    """Run one (engine, fault pattern, detector) group cell and audit it."""
+    if fault_pattern not in GROUP_FAULT_PATTERNS:
+        raise ValueError(f"unknown fault pattern {fault_pattern!r}; expected "
+                         f"one of {sorted(GROUP_FAULT_PATTERNS)}")
+    if detector not in DETECTOR_CONFIGS:
+        raise ValueError(f"unknown detector config {detector!r}; expected "
+                         f"one of {sorted(DETECTOR_CONFIGS)}")
+    fault_kind, minority, coordinator_in_minority = \
+        GROUP_FAULT_PATTERNS[fault_pattern]
+    prediction = netsplit_outcome(fault_kind, coordinator_in_minority,
+                                  _detector_sees(fault_kind, detector))
+    outcome = NetsplitCellOutcome(engine=engine, fault_pattern=fault_pattern,
+                                  detector=detector, prediction=prediction)
+
+    cluster = ReplicatedDatabaseCluster(
+        GROUP_TECHNIQUE, params=_cell_parameters(engine, detector, params),
+        seed=seed)
+    cluster.start()
+    sim, lan = cluster.sim, cluster.lan
+    names = cluster.server_names()
+    majority = [name for name in names if name not in minority]
+    #: ``s2`` is in the majority of every pattern (minorities are s1 or s3).
+    majority_delegate = "s2"
+    minority_delegate = minority[0] if minority else "s3"
+
+    # -- phase 1: healthy-network confirmations ------------------------------------
+    confirmed: List[ConfirmedWrite] = []
+    healthy_latencies: List[float] = []
+    for key in ("item-10", "item-11"):
+        result, value = _confirm(cluster, key, tag="warmup",
+                                 server=majority_delegate)
+        confirmed.append(ConfirmedWrite(txn_id=result.txn_id, partition_id=0,
+                                        values={key: value}))
+        healthy_latencies.append(result.responded_at - result.submitted_at)
+
+    # -- phase 2: the fault, with a duration ---------------------------------------
+    if fault_kind == "partition":
+        lan.schedule_fault(LinkFault.partition(fault_pattern, minority,
+                                               majority),
+                           at=FAULT_START, until=FAULT_END)
+    elif fault_kind == "asymmetric":
+        pairs = [(minority[0], name) for name in majority]
+        lan.schedule_fault(LinkFault.asymmetric(fault_pattern, pairs),
+                           at=FAULT_START, until=FAULT_END)
+    elif fault_kind == "lossy":
+        lan.schedule_fault(LinkFault.lossy(fault_pattern, minority, majority,
+                                           probability=0.3),
+                           at=FAULT_START, until=FAULT_END)
+    elif fault_kind == "slow":
+        lan.schedule_fault(LinkFault.slow(fault_pattern, minority, majority,
+                                          factor=50.0),
+                           at=FAULT_START, until=FAULT_END)
+    elif fault_kind == "gray-disk":
+        database = cluster.database(majority_delegate)
+        sim.call_at(FAULT_START, lambda: database.degrade_disk(8.0))
+        sim.call_at(FAULT_END, database.restore_disk)
+    else:  # gray-cpu
+        node = cluster.node(majority_delegate)
+        sim.call_at(FAULT_START, lambda: node.degrade_cpu(20.0))
+        sim.call_at(FAULT_END, node.restore_cpu)
+
+    # -- phase 3: submissions during the window ------------------------------------
+    in_flight: List[Tuple[str, str, str, object]] = []  # (side, key, value, waiter)
+
+    def submit_at(when: float, side: str, key: str, server: str) -> None:
+        def submit() -> None:
+            value = f"{fault_pattern}.{side}:{key}"
+            try:
+                waiter = cluster.run_transaction(
+                    _program({key: value}, client=f"{side}.{key}"),
+                    server=server)
+            except Exception:
+                # A refused submission (e.g. the member left the view) is a
+                # blocked client, not a commit — exactly what the blocking
+                # predictions allow.
+                return
+            in_flight.append((side, key, value, waiter))
+        sim.call_at(when, submit)
+
+    majority_keys = ("item-20", "item-21", "item-22")
+    minority_keys = ("item-30", "item-31")
+    for index, key in enumerate(majority_keys):
+        submit_at(FAULT_START + 20.0 + 140.0 * index, "majority", key,
+                  majority_delegate)
+    for index, key in enumerate(minority_keys):
+        submit_at(FAULT_START + 50.0 + 180.0 * index, "minority", key,
+                  minority_delegate)
+    sim.run(until=FAULT_END)
+
+    fault_latencies: List[float] = []
+    committed_during = set()
+    for side, key, value, waiter in in_flight:
+        result = waiter.value if waiter.triggered else None
+        if result is not None and result.committed:
+            committed_during.add(key)
+            confirmed.append(ConfirmedWrite(txn_id=result.txn_id,
+                                            partition_id=0,
+                                            values={key: value}))
+            if side == "majority":
+                outcome.majority_commits += 1
+                fault_latencies.append(result.responded_at
+                                       - result.submitted_at)
+            else:
+                outcome.minority_commits += 1
+    if fault_latencies and healthy_latencies:
+        outcome.latency_inflation = (
+            (sum(fault_latencies) / len(fault_latencies))
+            / (sum(healthy_latencies) / len(healthy_latencies)))
+
+    # -- phase 4: heal, resync, probe ----------------------------------------------
+    sim.run(until=FAULT_END + 300.0)
+    if fault_kind in ("partition", "asymmetric", "lossy"):
+        # Operator resync: a member that sat out a split has missed
+        # deliveries forever (the LAN never retransmits); the documented
+        # remedy is a crash-recovery cycle through the tested state-transfer
+        # machinery.  The member must stay down long enough for the
+        # configured detector to suspect it — removal from the view is what
+        # triggers both the state transfer on re-add and the re-submission
+        # of messages that hung during the fault.
+        config = DETECTOR_CONFIGS[detector]
+        if config["failure_detector_mode"] == "heartbeat":
+            down_for = (config["heartbeat_timeout"]
+                        + 5.0 * config["heartbeat_period"])
+            settle = 500.0
+        else:
+            down_for, settle = 50.0, 350.0
+        for name in minority:
+            cluster.crash_server(name)
+            sim.run(until=sim.now + down_for)
+            cluster.recover_server(name)
+            sim.run(until=sim.now + settle)
+
+    def probe(key: str, server: str) -> bool:
+        value = f"probe:{key}"
+        try:
+            waiter = cluster.run_transaction(
+                _program({key: value}, client=f"probe.{key}"), server=server)
+        except Exception:
+            return False
+        if not _advance_until(cluster, lambda: waiter.triggered,
+                              limit=sim.now + 3_000.0):
+            return False
+        result = waiter.value
+        if not result.committed:
+            return False
+        confirmed.append(ConfirmedWrite(txn_id=result.txn_id, partition_id=0,
+                                        values={key: value}))
+        return True
+
+    outcome.post_heal_ok = (probe("item-40", majority_delegate)
+                            and probe("item-41", minority_delegate))
+    sim.run(until=sim.now + 300.0)
+
+    # -- phase 5: the audit ----------------------------------------------------------
+    # Late confirmations (a view change re-submitted a message that hung
+    # during the fault) join the audited set: once a client was answered
+    # "committed", the write must be durable and served, whenever it landed.
+    for side, key, value, waiter in in_flight:
+        if key in committed_during:
+            continue
+        result = waiter.value if waiter.triggered else None
+        if result is not None and result.committed:
+            confirmed.append(ConfirmedWrite(txn_id=result.txn_id,
+                                            partition_id=0,
+                                            values={key: value}))
+        elif result is None:
+            outcome.unresolved += 1
+
+    for write in confirmed:
+        if not cluster.committed_anywhere(write.txn_id):
+            outcome.observed_loss = True
+            outcome.audit_failures.append(
+                f"lost commit: {write.txn_id} is recorded nowhere")
+            continue
+        for key, value in write.values.items():
+            missing = [name for name in names
+                       if cluster.database(name).value_of(key) != value]
+            if missing:
+                outcome.audit_failures.append(
+                    f"confirmed value of {key} ({write.txn_id}) not served "
+                    f"on {missing}")
+
+    audited_keys = (["item-10", "item-11", "item-40", "item-41"]
+                    + list(majority_keys) + list(minority_keys))
+    outcome.converged = all(
+        len({repr(cluster.database(name).value_of(key)) for name in names})
+        == 1
+        for key in audited_keys)
+    outcome.drops_by_cause = dict(lan.dropped_by_cause)
+    outcome.suspicion_count = cluster.gcs.failure_detector.suspicion_count
+    return outcome
+
+
+# --------------------------------------------------------------------------- partitioned cells
+def _partitioned_parameters(engine: str,
+                            params: Optional[SimulationParameters]
+                            ) -> SimulationParameters:
+    base = params or SimulationParameters.small(server_count=3,
+                                                item_count=100)
+    return base.with_overrides(partition_count=2, broadcast_engine=engine,
+                               cross_partition_probability=0.0)
+
+
+def _range_key(cluster: PartitionedCluster, shard: int,
+               offset: int = 1) -> str:
+    key_range = cluster.routing.range_of(shard)
+    position = key_range.lo + offset * key_range.width // 8
+    return f"item-{position}"
+
+
+def run_migration_fence_split_scenario(engine: str, seed: int = 1,
+                                       params: Optional[SimulationParameters]
+                                       = None) -> NetsplitCellOutcome:
+    """A netsplit isolates a destination-group member during the fence.
+
+    The migration must still complete — the destination's majority (its
+    primary serves as install delegate) keeps committing deltas and the
+    epoch record under the split — and the isolated member must serve the
+    migrated values after heal + resync.
+    """
+    prediction = netsplit_outcome("partition", coordinator_in_minority=False,
+                                  detector_sees_fault=False)
+    outcome = NetsplitCellOutcome(engine=engine,
+                                  fault_pattern="migration-fence-split",
+                                  detector="perfect", prediction=prediction)
+    cluster = PartitionedCluster(GROUP_TECHNIQUE,
+                                 params=_partitioned_parameters(engine,
+                                                                params),
+                                 seed=seed, strategy="range")
+    cluster.start()
+    sim = cluster.sim
+    source, destination = 0, 1
+    source_key = _range_key(cluster, source, offset=1)
+    write_result = sim.run_until_complete(
+        cluster.run_transaction(_program({source_key: f"fence:{source_key}"},
+                                         client="fence-setup")),
+        limit=sim.now + 5_000.0)
+    if not write_result.committed:
+        raise RuntimeError("fence-split setup write failed to confirm")
+    confirmed = [ConfirmedWrite(txn_id=write_result.txn_id,
+                                partition_id=source,
+                                values={source_key: f"fence:{source_key}"})]
+
+    destination_group = cluster.group(destination)
+    victim = destination_group.server_names()[-1]
+    everyone = [name for group_id in range(cluster.partition_count)
+                for name in cluster.group(group_id).server_names()]
+
+    def split(_context) -> None:
+        cluster.lan.install_fault(
+            LinkFault.isolate("fence-split", victim, everyone))
+        sim.call_after(400.0,
+                       lambda: cluster.lan.remove_fault("fence-split"))
+
+    cluster.add_failpoint("migration.fence", split)
+    driver = cluster.migrate(source, destination, chunk_size=8)
+    if not _advance_until(cluster, lambda: driver.triggered,
+                          limit=sim.now + 30_000.0):
+        raise RuntimeError("migration driver never finished under the "
+                           "fence split")
+    report = cluster.migration_reports[-1]
+    migration_ok = bool(report.completed and report.verified)
+    if migration_ok:
+        outcome.majority_commits = 1   # progress under the split
+    else:
+        outcome.audit_failures.append(
+            f"migration did not complete under the fence split "
+            f"(aborted={report.aborted}, reason={report.abort_reason})")
+    sim.run(until=sim.now + 300.0)
+
+    # Resync the isolated member through crash recovery, then audit.
+    cluster.crash_server(destination, victim)
+    sim.run(until=sim.now + 50.0)
+    cluster.recover_server(destination, victim)
+    sim.run(until=sim.now + 500.0)
+
+    probe_key = _range_key(cluster, source, offset=2)
+    probe = cluster.run_transaction(
+        _program({probe_key: f"probe:{probe_key}"}, client="fence-probe"))
+    outcome.post_heal_ok = (_advance_until(cluster,
+                                           lambda: probe.triggered,
+                                           limit=sim.now + 5_000.0)
+                            and bool(probe.value.committed))
+    sim.run(until=sim.now + 300.0)
+
+    failures, lost = audit_confirmed_writes(cluster, confirmed)
+    outcome.audit_failures.extend(failures)
+    outcome.observed_loss = lost
+    serving = cluster.partition_of(source_key)
+    member_values = {
+        repr(destination_group.database(name).value_of(source_key))
+        for name in destination_group.server_names()}
+    outcome.converged = (migration_ok and serving == destination
+                         and len(member_values) == 1)
+    outcome.drops_by_cause = dict(cluster.lan.dropped_by_cause)
+    outcome.suspicion_count = sum(
+        cluster.group(group_id).gcs.failure_detector.suspicion_count
+        for group_id in range(cluster.partition_count)
+        if cluster.group(group_id).gcs is not None)
+    return outcome
+
+
+def run_gray_2pc_scenario(engine: str, seed: int = 1,
+                          params: Optional[SimulationParameters] = None
+                          ) -> NetsplitCellOutcome:
+    """A degraded-disk participant shard under cross-partition 2PC.
+
+    The remote shard's servers flush at 8x cost while a cross-partition
+    transaction runs: 2PC must still commit atomically (the vote waits for
+    the slow prepare flush), with visibly inflated latency, and recover its
+    healthy latency after the degradation ends.
+    """
+    # This cell has no minority side (nothing is partitioned away), so the
+    # derived minority axis is neutralised: only the progress-under-
+    # degradation and no-loss axes are checked.
+    prediction = replace(
+        netsplit_outcome("gray-disk", coordinator_in_minority=False,
+                         detector_sees_fault=False),
+        minority_blocks=None)
+    outcome = NetsplitCellOutcome(engine=engine,
+                                  fault_pattern="gray-2pc-participant",
+                                  detector="perfect", prediction=prediction)
+    cluster = PartitionedCluster(GROUP_TECHNIQUE,
+                                 params=_partitioned_parameters(engine,
+                                                                params),
+                                 seed=seed, strategy="range")
+    cluster.start()
+    sim = cluster.sim
+    remote = cluster.partition_count - 1
+
+    def cross(tag: str):
+        values = {_range_key(cluster, 0, offset=1 + len(confirmed)):
+                  f"{tag}:local",
+                  _range_key(cluster, remote, offset=1 + len(confirmed)):
+                  f"{tag}:remote"}
+        waiter = cluster.run_transaction(_program(values, client=tag))
+        if not _advance_until(cluster, lambda: waiter.triggered,
+                              limit=sim.now + 10_000.0):
+            return None, values
+        return waiter.value, values
+
+    confirmed: List[ConfirmedWrite] = []
+
+    def record(cross_outcome, values) -> None:
+        for branch in cross_outcome.branches:
+            if branch.txn_id is None:
+                continue
+            branch_values = {key: value for key, value in values.items()
+                             if cluster.partition_of(key)
+                             == branch.partition_id}
+            confirmed.append(ConfirmedWrite(txn_id=branch.txn_id,
+                                            partition_id=branch.partition_id,
+                                            values=branch_values))
+
+    healthy, values = cross("gray2pc-healthy")
+    if healthy is None or not healthy.committed:
+        raise RuntimeError("healthy cross-partition transaction failed")
+    record(healthy, values)
+
+    remote_group = cluster.group(remote)
+    for name in remote_group.server_names():
+        remote_group.database(name).degrade_disk(8.0)
+    degraded, values = cross("gray2pc-degraded")
+    for name in remote_group.server_names():
+        remote_group.database(name).restore_disk()
+    if degraded is not None and degraded.committed:
+        outcome.majority_commits = 1
+        record(degraded, values)
+        outcome.latency_inflation = (degraded.response_time
+                                     / healthy.response_time)
+    else:
+        outcome.audit_failures.append(
+            "cross-partition transaction failed under the degraded disk")
+
+    recovered, values = cross("gray2pc-recovered")
+    outcome.post_heal_ok = bool(recovered is not None
+                                and recovered.committed)
+    if outcome.post_heal_ok:
+        record(recovered, values)
+    sim.run(until=sim.now + 300.0)
+
+    failures, lost = audit_confirmed_writes(cluster, confirmed)
+    outcome.audit_failures.extend(failures)
+    outcome.observed_loss = lost
+    outcome.converged = all(
+        len({repr(cluster.group(write.partition_id).database(name)
+                  .value_of(key))
+             for name in cluster.group(write.partition_id).server_names()})
+        == 1
+        for write in confirmed for key in write.values)
+    outcome.drops_by_cause = dict(cluster.lan.dropped_by_cause)
+    return outcome
+
+
+# --------------------------------------------------------------------------- the matrix
+def _matrix_cell(cell) -> NetsplitCellOutcome:
+    """Run one matrix cell — module-level so a process pool can pickle it;
+    each cell is an independent simulation."""
+    kind, engine, pattern, detector, seed, params = cell
+    if kind == "group":
+        return run_group_netsplit_scenario(engine, pattern, detector,
+                                           seed=seed, params=params)
+    if pattern == "migration-fence-split":
+        return run_migration_fence_split_scenario(engine, seed=seed,
+                                                  params=params)
+    return run_gray_2pc_scenario(engine, seed=seed, params=params)
+
+
+def run_netsplit_matrix(engines: Optional[Sequence[str]] = None,
+                        patterns: Optional[Sequence[str]] = None,
+                        detectors: Optional[Sequence[str]] = None,
+                        seed: int = 1,
+                        params: Optional[SimulationParameters] = None,
+                        workers: int = 1,
+                        include_partitioned: bool = True
+                        ) -> List[NetsplitCellOutcome]:
+    """Run every (engine × fault pattern × detector) cell of the matrix.
+
+    With ``workers > 1`` the cells fan out over a process pool; the entry
+    list keeps the serial (engine-major) order either way, because
+    ``Pool.map`` returns results in submission order regardless of which
+    worker finished first.
+    """
+    from ..gcs.engines import engine_names
+
+    chosen_engines = list(engines) if engines is not None \
+        else list(engine_names())
+    chosen_patterns = list(patterns) if patterns is not None \
+        else list(GROUP_FAULT_PATTERNS)
+    chosen_detectors = list(detectors) if detectors is not None \
+        else list(DETECTOR_CONFIGS)
+    cells = [("group", engine, pattern, detector, seed, params)
+             for engine in chosen_engines
+             for pattern in chosen_patterns
+             for detector in chosen_detectors]
+    if include_partitioned:
+        cells.extend(("partitioned", engine, pattern, "perfect", seed,
+                      params)
+                     for engine in chosen_engines
+                     for pattern in PARTITIONED_FAULT_PATTERNS)
+    if workers > 1:
+        import multiprocessing
+        with multiprocessing.Pool(min(workers, len(cells))) as pool:
+            return pool.map(_matrix_cell, cells)
+    return [_matrix_cell(cell) for cell in cells]
+
+
+def netsplit_soundness_violations(entries: Sequence[NetsplitCellOutcome]
+                                  ) -> List[NetsplitCellOutcome]:
+    """Cells with a lost/diverged commit, split-brain or unavailability."""
+    return [entry for entry in entries if not entry.sound]
+
+
+def netsplit_prediction_mismatches(entries: Sequence[NetsplitCellOutcome]
+                                   ) -> List[NetsplitCellOutcome]:
+    """Cells whose observed progress contradicts the derived prediction."""
+    return [entry for entry in entries if not entry.matched]
+
+
+def engines_missing_minority_blocking(entries: Sequence[NetsplitCellOutcome]
+                                      ) -> List[str]:
+    """Engines with no demonstrated minority-blocking cell (acceptance bar)."""
+    demonstrated = {entry.engine for entry in entries
+                    if entry.demonstrates_minority_blocking}
+    return sorted({entry.engine for entry in entries} - demonstrated)
+
+
+def render_netsplit_matrix(entries: Sequence[NetsplitCellOutcome]) -> str:
+    """Human-readable rendering of the netsplit matrix (report file)."""
+    header = (f"{'engine':>15} | {'fault pattern':>26} | {'detector':>8} | "
+              f"{'majority':>12} | {'minority':>12} | {'loss':>5} | "
+              f"{'conv':>5} | sound")
+    lines = [header, "-" * len(header)]
+
+    def progress_cell(predicted: Optional[bool], commits: int) -> str:
+        expectation = {True: "go", False: "block", None: "?"}[predicted]
+        return f"{expectation}:{commits}"
+
+    for entry in entries:
+        blocks = entry.prediction.minority_blocks
+        minority_progress = None if blocks is None else not blocks
+        lines.append(
+            f"{entry.engine:>15} | {entry.fault_pattern:>26} | "
+            f"{entry.detector:>8} | "
+            f"{progress_cell(entry.prediction.majority_progress, entry.majority_commits):>12} | "
+            f"{progress_cell(minority_progress, entry.minority_commits):>12} | "
+            f"{'LOST' if entry.observed_loss else 'none':>5} | "
+            f"{'ok' if entry.converged else 'NO':>5} | "
+            f"{entry.sound and entry.matched}")
+    violations = netsplit_soundness_violations(entries)
+    mismatches = netsplit_prediction_mismatches(entries)
+    blocking = [entry for entry in entries
+                if entry.demonstrates_minority_blocking]
+    lines.append("")
+    lines.append(
+        f"cells: {len(entries)}  soundness violations: {len(violations)}  "
+        f"prediction mismatches: {len(mismatches)}  "
+        f"minority-blocking demonstrations: {len(blocking)}")
+    lines.append("majority/minority columns: predicted(go/block/?) : "
+                 "observed confirmed commits during the fault window")
+    inflations = [(entry, entry.latency_inflation) for entry in entries
+                  if entry.latency_inflation is not None
+                  and entry.fault_pattern.startswith("gray")]
+    for entry, inflation in inflations:
+        lines.append(f"  gray latency inflation "
+                     f"{entry.engine}/{entry.fault_pattern}"
+                     f"/{entry.detector}: x{inflation:.1f}")
+    for entry in violations:
+        lines.append(f"  VIOLATION {entry.engine}/{entry.fault_pattern}"
+                     f"/{entry.detector}: {entry.audit_failures or 'minority committed / unavailable'}")
+    for entry in mismatches:
+        lines.append(f"  MISMATCH {entry.engine}/{entry.fault_pattern}"
+                     f"/{entry.detector}: majority={entry.majority_commits} "
+                     f"minority={entry.minority_commits} vs "
+                     f"{entry.prediction}")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- CLI
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI / CI smoke entry: run the matrix and enforce the acceptance bars.
+
+    ``--smoke`` runs the reduced cell set on the single ``--engine``; the
+    full run spans *both* engines regardless of ``--engine`` (the matrix is
+    the engine comparison).  Exits non-zero on any soundness violation,
+    prediction mismatch, or an engine without a demonstrated
+    minority-blocking cell.
+    """
+    from .report import matrix_cli
+
+    def run(arguments):
+        if arguments.smoke:
+            entries = run_netsplit_matrix(
+                engines=[arguments.engine],
+                patterns=SMOKE_GROUP_PATTERNS,
+                detectors=SMOKE_DETECTORS,
+                seed=arguments.seed, workers=arguments.workers)
+        else:
+            entries = run_netsplit_matrix(seed=arguments.seed,
+                                          workers=arguments.workers)
+        return entries, render_netsplit_matrix(entries)
+
+    def problems_of(entries) -> List[str]:
+        problems: List[str] = []
+        violations = netsplit_soundness_violations(entries)
+        if violations:
+            problems.append(f"{len(violations)} soundness violations")
+        mismatches = netsplit_prediction_mismatches(entries)
+        if mismatches:
+            problems.append(f"{len(mismatches)} prediction mismatches")
+        for engine in engines_missing_minority_blocking(entries):
+            problems.append(f"no demonstrated minority-blocking cell for "
+                            f"engine {engine}")
+        return problems
+
+    return matrix_cli(argv, description=__doc__.splitlines()[0],
+                      report_name="netsplit_matrix", run=run,
+                      problems_of=problems_of)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -76,6 +76,13 @@ class FixedSequencerEngine(TotalOrderEngine):
         self._assigned: Dict[int, _PendingMessage] = {}
         self._acks: Dict[int, Set[str]] = {}
         self._sequenced_ids: Set[str] = set()
+        # Takeover barrier: while waiting for ``VC_STATE`` replies the new
+        # sequencer must not assign sequence numbers — its ``_next_seq`` may
+        # trail assignments the old sequencer stabilised with a quorum that
+        # did not include us.  DATA arriving meanwhile is buffered.
+        self._takeover_waiting: Optional[Set[str]] = None
+        self._takeover_replies: Set[str] = set()
+        self._takeover_buffer: list = []
 
     def _submit(self, broadcast_id: str, payload: Any, target: str) -> None:
         self._post(self.KIND_DATA, target,
@@ -94,10 +101,46 @@ class FixedSequencerEngine(TotalOrderEngine):
         self._next_seq = self._delivered_seq + 1
 
     def _on_coordinator_change(self, view: Any, coordinator: str) -> None:
-        # If we just became the sequencer, collect the group's pending state
-        # so assignments known to others survive the handoff.
-        if coordinator == self.member_name:
-            self._post_view(self.KIND_VC_REQUEST, {"view_id": view.view_id})
+        if coordinator != self.member_name:
+            # Someone else sequences now; anything buffered during an
+            # abandoned takeover of ours belongs to them.
+            self._takeover_waiting = None
+            buffered, self._takeover_buffer = self._takeover_buffer, []
+            for message in buffered:
+                self._post(self.KIND_DATA, coordinator, message.payload)
+            return
+        # We just became the sequencer: collect the group's pending state so
+        # assignments known to others survive the handoff.  Until a quorum
+        # has answered, DATA is buffered (see ``_on_data``) — sequencing
+        # before the collection completes could re-use sequence numbers the
+        # old sequencer already stabilised.
+        self._takeover_waiting = set(view.members)
+        self._takeover_replies = set()
+        self._post_view(self.KIND_VC_REQUEST, {"view_id": view.view_id})
+
+    def _on_excluded(self, view: Any) -> None:
+        # Excluded while alive (partitioned away, not crashed): our
+        # sequencer tenancy — if we had one — is void.  The surviving
+        # majority re-collects pending state and re-assigns our sequence
+        # numbers to other messages, so re-asserting ``_assigned`` on a
+        # later rejoin would deliver a *different* message under an
+        # already-delivered sequence: a total-order (split-brain) violation.
+        # Our own not-yet-delivered broadcasts go back to ``_unsequenced``
+        # so the rejoin view change re-submits them for fresh sequencing.
+        for _seq, entry in sorted(self._pending.items()) + \
+                sorted(self._assigned.items()):
+            if entry.sender == self.member_name and \
+                    entry.broadcast_id not in self._delivered_ids:
+                self._unsequenced.setdefault(entry.broadcast_id,
+                                             entry.payload)
+        self._pending.clear()
+        self._assigned = {}
+        self._acks = {}
+        self._sequenced_ids = set()
+        self._next_seq = self._delivered_seq + 1
+        self._takeover_waiting = None
+        self._takeover_replies = set()
+        self._takeover_buffer = []
 
     # ------------------------------------------------------------------ handlers
     def _on_data(self, message: Message) -> None:
@@ -106,6 +149,9 @@ class FixedSequencerEngine(TotalOrderEngine):
             sequencer = self.coordinator()
             if sequencer and sequencer != self.member_name:
                 self._post(self.KIND_DATA, sequencer, message.payload)
+            return
+        if self._takeover_waiting is not None:
+            self._takeover_buffer.append(message)
             return
         payload = message.payload
         broadcast_id = payload["broadcast_id"]
@@ -195,3 +241,14 @@ class FixedSequencerEngine(TotalOrderEngine):
                             {"sequence": sequence,
                              "broadcast_id": entry.broadcast_id,
                              "payload": entry.payload, "origin": entry.sender})
+        if self._takeover_waiting is not None:
+            self._takeover_replies.add(payload["member"])
+            needed = min(self.group.quorum_size(),
+                         len(self._takeover_waiting))
+            if len(self._takeover_replies & self._takeover_waiting) >= needed:
+                # Enough of the view answered: ``_next_seq`` now covers every
+                # assignment a quorum could have stabilised — safe to sequence.
+                self._takeover_waiting = None
+                buffered, self._takeover_buffer = self._takeover_buffer, []
+                for message in buffered:
+                    self._on_data(message)

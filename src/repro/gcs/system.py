@@ -27,7 +27,7 @@ from ..network.node import Node
 from ..sim.engine import Simulator
 from .end_to_end import DeliveryJournal
 from .engines import DEFAULT_ENGINE, resolve_engine
-from .failure_detector import FailureDetector
+from .failure_detector import build_failure_detector
 from .membership import GroupMembership
 from .reliable_broadcast import ReliableBroadcastLayer
 from .spec import BroadcastTrace
@@ -44,7 +44,10 @@ class GroupCommunicationSystem:
                  delivery_log_time: float = 0.0,
                  detection_delay: float = 1.0,
                  quorum_size: Optional[int] = None,
-                 engine: str = DEFAULT_ENGINE) -> None:
+                 engine: str = DEFAULT_ENGINE,
+                 detector_mode: str = "perfect",
+                 heartbeat_period: float = 10.0,
+                 heartbeat_timeout: float = 50.0) -> None:
         self.sim = sim
         self.lan = lan
         self.end_to_end = end_to_end
@@ -53,8 +56,12 @@ class GroupCommunicationSystem:
         members = list(nodes) if nodes is not None else list(lan.nodes)
         if not members:
             raise ValueError("the group needs at least one node")
-        self.failure_detector = FailureDetector(sim, lan,
-                                                detection_delay=detection_delay)
+        self.detector_mode = detector_mode
+        self.failure_detector = build_failure_detector(
+            detector_mode, sim, lan, members,
+            detection_delay=detection_delay,
+            heartbeat_period=heartbeat_period,
+            heartbeat_timeout=heartbeat_timeout)
         self.membership = GroupMembership(
             sim, [node.name for node in members],
             failure_detector=self.failure_detector, quorum_size=quorum_size)
@@ -70,6 +77,8 @@ class GroupCommunicationSystem:
         for node in members:
             dispatcher = Dispatcher(sim, node)
             self._dispatchers[node.name] = dispatcher
+            if detector_mode == "heartbeat":
+                self.failure_detector.bind_dispatcher(node.name, dispatcher)
             broadcast_layer = ReliableBroadcastLayer(sim, lan, node)
             self._broadcast_layers[node.name] = broadcast_layer
             journal = DeliveryJournal(node, name=f"{node.name}.e2e",

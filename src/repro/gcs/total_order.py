@@ -168,6 +168,15 @@ class TotalOrderEngine:
         """React to a view change (run a takeover protocol if needed)."""
         raise NotImplementedError
 
+    def _on_excluded(self, view: Any) -> None:
+        """React to being excluded from ``view`` while the node is alive.
+
+        Only reached through a false (or partition-induced) suspicion: a
+        crash resets the endpoint via the node listener before any view
+        excluding it is installed.  The default keeps all state — engines
+        whose ordering authority must not survive exclusion override this.
+        """
+
     # ------------------------------------------------------------------ state
     def _reset_volatile(self) -> None:
         """(Re)initialise every piece of state that does not survive a crash."""
@@ -340,6 +349,13 @@ class TotalOrderEngine:
         if self.node.is_crashed or not self._started:
             return
         if self.member_name not in view.members:
+            # Excluded while alive: the failure detector suspected us (a
+            # netsplit, not a crash), so the node listener never fired.  Any
+            # ordering authority we held is void in the new view — engines
+            # that hold coordinator state must drop it here, or a later
+            # rejoin re-asserts stale assignments over sequences the
+            # surviving majority has meanwhile given to other messages.
+            self._on_excluded(view)
             return
         coordinator = self.coordinator()
         if coordinator is None:

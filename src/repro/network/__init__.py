@@ -7,8 +7,10 @@ nodes with the fixed LAN latency of the paper's Table 4 (0.07 ms).
 """
 
 from .dispatch import Dispatcher
+from .faults import LinkFault
 from .lan import Lan
 from .message import Message, next_message_id
 from .node import Node
 
-__all__ = ["Dispatcher", "Lan", "Message", "Node", "next_message_id"]
+__all__ = ["Dispatcher", "Lan", "LinkFault", "Message", "Node",
+           "next_message_id"]

@@ -1,0 +1,139 @@
+"""First-class network faults: netsplits, lossy links, slow links.
+
+The crash-stop matrices of the earlier experiments only speak node crashes;
+this module models what a LAN actually produces.  A :class:`LinkFault` is a
+*named*, immutable description of one fault — a set of directionally blocked
+sender→destination pairs, per-pair loss probabilities and per-pair latency
+multipliers — that :meth:`~repro.network.lan.Lan.install_fault` activates and
+:meth:`~repro.network.lan.Lan.remove_fault` deactivates, so faults have
+durations (:meth:`~repro.network.lan.Lan.schedule_fault` installs and removes
+them at simulated times).
+
+Taxonomy (the constructors):
+
+* :meth:`LinkFault.partition` — a symmetric netsplit between two groups
+  (majority/minority splits, split-during-migration-fence);
+* :meth:`LinkFault.isolate` — one node cut off from a set of peers (the
+  coordinator-isolating pattern);
+* :meth:`LinkFault.asymmetric` — directional blocking: messages one way are
+  dropped, the reverse direction still flows;
+* :meth:`LinkFault.lossy` — each traversal of a listed pair is dropped with
+  a fixed probability, drawn from the LAN's interned ``lan.loss`` stream
+  (deterministic per seed, untouched when no lossy fault is installed);
+* :meth:`LinkFault.slow` — per-pair latency multipliers (a congested or
+  misbehaving link that delays but still delivers).
+
+Faults compose: blocked pairs union, loss probabilities combine as
+independent drops, latency factors multiply.  Everything is expressed in
+*directional* pairs; the symmetric constructors simply emit both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Set, Tuple
+
+#: A directional link: (sender name, destination name).
+LinkPair = Tuple[str, str]
+
+
+def _both_directions(group_a: Iterable[str],
+                     group_b: Iterable[str]) -> Tuple[LinkPair, ...]:
+    pairs = []
+    for a in group_a:
+        for b in group_b:
+            pairs.append((a, b))
+            pairs.append((b, a))
+    return tuple(pairs)
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """One named, installable network fault (immutable description).
+
+    ``blocked`` pairs drop every message; ``loss`` maps pairs to a drop
+    probability per traversal; ``latency_factors`` maps pairs to a
+    multiplier on the LAN delivery delay.  All pairs are directional.
+    """
+
+    name: str
+    blocked: Tuple[LinkPair, ...] = ()
+    loss: Tuple[Tuple[LinkPair, float], ...] = ()
+    latency_factors: Tuple[Tuple[LinkPair, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a fault needs a non-empty name")
+        for _, probability in self.loss:
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(
+                    f"loss probability must be within [0, 1], "
+                    f"got {probability}")
+        for _, factor in self.latency_factors:
+            if factor <= 0.0:
+                raise ValueError(
+                    f"latency factor must be positive, got {factor}")
+
+    # -- constructors -------------------------------------------------------------
+    @classmethod
+    def partition(cls, name: str, group_a: Iterable[str],
+                  group_b: Iterable[str]) -> "LinkFault":
+        """A symmetric netsplit: all traffic between the groups is dropped."""
+        return cls(name=name, blocked=_both_directions(group_a, group_b))
+
+    @classmethod
+    def isolate(cls, name: str, node: str,
+                peers: Iterable[str]) -> "LinkFault":
+        """Cut ``node`` off from every peer, both directions (coordinator
+        isolation)."""
+        return cls.partition(name, [node], [p for p in peers if p != node])
+
+    @classmethod
+    def asymmetric(cls, name: str,
+                   pairs: Iterable[LinkPair]) -> "LinkFault":
+        """Block exactly the given directional pairs (the reverse flows)."""
+        return cls(name=name, blocked=tuple(pairs))
+
+    @classmethod
+    def lossy(cls, name: str, group_a: Iterable[str],
+              group_b: Iterable[str], probability: float) -> "LinkFault":
+        """Drop each message between the groups with ``probability``
+        (both directions, drawn from the interned ``lan.loss`` stream)."""
+        return cls(name=name, loss=tuple(
+            (pair, probability)
+            for pair in _both_directions(group_a, group_b)))
+
+    @classmethod
+    def slow(cls, name: str, group_a: Iterable[str], group_b: Iterable[str],
+             factor: float) -> "LinkFault":
+        """Multiply the delivery latency between the groups by ``factor``."""
+        return cls(name=name, latency_factors=tuple(
+            (pair, factor)
+            for pair in _both_directions(group_a, group_b)))
+
+
+@dataclass
+class FaultTables:
+    """The combined effect of every installed fault, in hot-path shape.
+
+    Rebuilt whole on each install/remove (fault changes are rare; message
+    sends are not): a flat blocked-pair set, a pair→probability loss map
+    (independent-drop composition) and a pair→factor latency map
+    (multiplicative composition).
+    """
+
+    blocked: Set[LinkPair] = field(default_factory=set)
+    loss: Dict[LinkPair, float] = field(default_factory=dict)
+    latency: Dict[LinkPair, float] = field(default_factory=dict)
+
+    @classmethod
+    def combine(cls, faults: Iterable[LinkFault]) -> "FaultTables":
+        tables = cls()
+        for fault in faults:
+            tables.blocked.update(fault.blocked)
+            for pair, probability in fault.loss:
+                kept = (1.0 - tables.loss.get(pair, 0.0)) * (1.0 - probability)
+                tables.loss[pair] = 1.0 - kept
+            for pair, factor in fault.latency_factors:
+                tables.latency[pair] = tables.latency.get(pair, 1.0) * factor
+        return tables

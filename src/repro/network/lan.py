@@ -7,10 +7,20 @@ operation.  The :class:`Lan` therefore delivers every message after a fixed
 LAN is effectively uncontended at the message sizes and rates of the study.
 
 Messages addressed to a crashed node are dropped, as are messages whose
-sender and destination are separated by an active partition.  Delivery is
-FIFO per sender–destination pair (the heap tie-break of the simulator
-preserves insertion order for equal timestamps), which is the usual
-assumption for a LAN transport such as TCP.
+sender and destination are separated by an active partition, and — when a
+:class:`~repro.network.faults.LinkFault` with loss probabilities is
+installed — messages sampled away by the interned ``lan.loss`` stream.
+Delivery is FIFO per sender–destination pair (the heap tie-break of the
+simulator preserves insertion order for equal timestamps), which is the
+usual assumption for a LAN transport such as TCP.
+
+Blocking is *directional* throughout: a blocked ``(sender, destination)``
+pair drops messages that way only, which is what an asymmetric link failure
+looks like.  The symmetric helpers (:meth:`Lan.partition`,
+:meth:`~repro.network.faults.LinkFault.partition`) simply block both
+directions.  When no fault is installed and nothing is blocked, the send
+path is byte-for-byte the pre-fault-model code: no loss stream exists, no
+extra draws happen, and the event schedule is bit-identical to the seed.
 """
 
 from __future__ import annotations
@@ -20,8 +30,13 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 from ..core.layers import implements
 from ..sim.engine import Simulator
 from ..sim.events import Deferred
+from .faults import FaultTables, LinkFault
 from .message import Message
 from .node import Node
+
+#: The drop causes of :attr:`Lan.dropped_by_cause`.
+DROP_CAUSES = ("destination-unknown", "destination-crashed", "partitioned",
+               "lossy-link")
 
 
 @implements("links")
@@ -36,14 +51,27 @@ class Lan:
         self.latency = latency
         self.jitter = jitter
         self._jitter_stream = sim.random.stream("lan.jitter") if jitter else None
+        #: The interned loss stream; created on the first install of a lossy
+        #: fault and never before, so fault-free runs make no extra draws.
+        self._loss_stream = None
         self._nodes: Dict[str, Node] = {}
+        #: Directionally blocked pairs from :meth:`block` / :meth:`partition`.
+        self._manual_blocked: Set[Tuple[str, str]] = set()
+        #: Installed faults by name, in installation order.
+        self._faults: Dict[str, LinkFault] = {}
+        #: Combined effect of the installed faults (hot-path tables).
+        self._fault_tables = FaultTables()
+        #: Union of manual and fault blocking — the set the send and
+        #: delivery paths actually consult.
         self._blocked_pairs: Set[Tuple[str, str]] = set()
         #: Count of messages handed to the network (before drops).
         self.sent_count = 0
         #: Count of messages actually delivered to an inbox.
         self.delivered_count = 0
-        #: Count of messages dropped (crashed destination or partition).
+        #: Count of messages dropped, total over all causes.
         self.dropped_count = 0
+        #: Drops split by cause (:data:`DROP_CAUSES`), cause -> count.
+        self.dropped_by_cause: Dict[str, int] = {}
 
     # -- topology ---------------------------------------------------------------
     def attach(self, node: Node) -> Node:
@@ -66,21 +94,89 @@ class Lan:
         """All attached nodes, in attachment order."""
         return list(self._nodes.values())
 
-    # -- partitions ----------------------------------------------------------------
+    # -- partitions and manual blocking ------------------------------------------------
+    def block(self, sender: str, destination: str) -> None:
+        """Block the directional link ``sender`` → ``destination``.
+
+        Only that direction is affected: replies from ``destination`` to
+        ``sender`` still flow, which models an asymmetric link failure.
+        Symmetric blocking takes two calls (or :meth:`partition`).
+        """
+        self._manual_blocked.add((sender, destination))
+        self._rebuild_blocked()
+
+    def unblock(self, sender: str, destination: str) -> None:
+        """Remove a directional block added by :meth:`block` /
+        :meth:`partition` (no-op if absent; fault blocking is unaffected —
+        remove the fault instead)."""
+        self._manual_blocked.discard((sender, destination))
+        self._rebuild_blocked()
+
     def partition(self, group_a: Iterable[str], group_b: Iterable[str]) -> None:
         """Block all traffic between the two groups of node names."""
         for a in group_a:
             for b in group_b:
-                self._blocked_pairs.add((a, b))
-                self._blocked_pairs.add((b, a))
+                self._manual_blocked.add((a, b))
+                self._manual_blocked.add((b, a))
+        self._rebuild_blocked()
 
     def heal(self) -> None:
-        """Remove every partition."""
-        self._blocked_pairs.clear()
+        """Remove every manual block and partition (installed faults stay)."""
+        self._manual_blocked.clear()
+        self._rebuild_blocked()
 
     def is_blocked(self, sender: str, destination: str) -> bool:
-        """True if a partition currently separates ``sender`` and ``destination``."""
+        """True if ``sender`` → ``destination`` traffic is currently dropped
+        (by a manual block, a partition, or an installed fault)."""
         return (sender, destination) in self._blocked_pairs
+
+    # -- faults -----------------------------------------------------------------------
+    def install_fault(self, fault: LinkFault) -> LinkFault:
+        """Activate ``fault`` (replacing any installed fault of the same name).
+
+        Installing the first fault with loss probabilities interns the
+        ``lan.loss`` stream; stream creation does not perturb any other
+        stream, and the stream is only drawn from when a message actually
+        traverses a lossy pair.
+        """
+        self._faults[fault.name] = fault
+        self._rebuild_faults()
+        if self._fault_tables.loss and self._loss_stream is None:
+            self._loss_stream = self.sim.random.stream("lan.loss")
+        return fault
+
+    def remove_fault(self, name: str) -> Optional[LinkFault]:
+        """Deactivate the fault installed under ``name`` (None if absent)."""
+        fault = self._faults.pop(name, None)
+        if fault is not None:
+            self._rebuild_faults()
+        return fault
+
+    def active_faults(self) -> List[str]:
+        """Names of the currently installed faults, in installation order."""
+        return list(self._faults)
+
+    def schedule_fault(self, fault: LinkFault, at: float,
+                       until: Optional[float] = None) -> LinkFault:
+        """Install ``fault`` at simulated time ``at``; remove it at ``until``.
+
+        This is how faults get durations: a netsplit that starts at ``at``
+        and heals at ``until``.  With ``until=None`` the fault stays until
+        removed explicitly.
+        """
+        if until is not None and until <= at:
+            raise ValueError("a fault must be removed after it is installed")
+        self.sim.call_at(at, lambda: self.install_fault(fault))
+        if until is not None:
+            self.sim.call_at(until, lambda: self.remove_fault(fault.name))
+        return fault
+
+    def _rebuild_faults(self) -> None:
+        self._fault_tables = FaultTables.combine(self._faults.values())
+        self._rebuild_blocked()
+
+    def _rebuild_blocked(self) -> None:
+        self._blocked_pairs = self._manual_blocked | self._fault_tables.blocked
 
     # -- transmission -----------------------------------------------------------------
     def _delivery_delay(self) -> float:
@@ -93,20 +189,32 @@ class Lan:
         """Send a point-to-point message.
 
         The message is silently dropped if the destination is unknown,
-        crashed, or partitioned away — exactly what a datagram network does.
-        Sending stamps :attr:`~repro.network.message.Message.sent_at` on the
-        message itself (no per-send envelope copy; callers hand over fresh
-        envelopes, and a re-sent message is simply re-stamped).
+        crashed, partitioned away, or sampled away by a lossy link — exactly
+        what a datagram network does.  Sending stamps
+        :attr:`~repro.network.message.Message.sent_at` on the message itself
+        (no per-send envelope copy; callers hand over fresh envelopes, and a
+        re-sent message is simply re-stamped).
         """
         self.sent_count += 1
         destination = self._nodes.get(message.destination)
         if destination is None:
-            self.dropped_count += 1
+            self._drop(message, "destination-unknown")
             return
         if self._blocked_pairs and \
                 (message.sender, message.destination) in self._blocked_pairs:
-            self.dropped_count += 1
+            self._drop(message, "partitioned")
             return
+        delay = self._delivery_delay()
+        tables = self._fault_tables
+        if tables.loss or tables.latency:
+            pair = (message.sender, message.destination)
+            probability = tables.loss.get(pair)
+            if probability and self._loss_stream.random() < probability:
+                self._drop(message, "lossy-link")
+                return
+            factor = tables.latency.get(pair)
+            if factor is not None:
+                delay *= factor
         if message.sent_at is not None:
             # Re-send of an already-stamped envelope (retransmission): copy
             # it so the earlier in-flight delivery keeps its own timestamp.
@@ -115,8 +223,7 @@ class Lan:
                               kind=message.kind, payload=message.payload,
                               message_id=message.message_id)
         object.__setattr__(message, "sent_at", self.sim.now)
-        Deferred(self.sim, self._delivery_delay(), self._deliver,
-                 (message, destination))
+        Deferred(self.sim, delay, self._deliver, (message, destination))
 
     def broadcast(self, message: Message,
                   destinations: Optional[Iterable[str]] = None) -> None:
@@ -132,26 +239,27 @@ class Lan:
     def _deliver(self, message: Message, destination: Node) -> None:
         if destination._crashed:
             # The destination crashed while the message was in flight.
-            self.dropped_count += 1
-            self._note_drop(message, "destination-crashed")
+            self._drop(message, "destination-crashed")
             return
         if self._blocked_pairs and \
                 (message.sender, message.destination) in self._blocked_pairs:
-            self.dropped_count += 1
-            self._note_drop(message, "partitioned")
+            # A partition came up while the message was in flight.
+            self._drop(message, "partitioned")
             return
         self.delivered_count += 1
         destination.inbox.put(message)
 
-    def _note_drop(self, message: Message, reason: str) -> None:
-        """Record an in-flight message loss on the span tracer, if attached."""
+    def _drop(self, message: Message, cause: str) -> None:
+        """Account one dropped message (total, per cause, span tracer)."""
+        self.dropped_count += 1
+        self.dropped_by_cause[cause] = self.dropped_by_cause.get(cause, 0) + 1
         obs = self.sim.obs
         if obs is not None:
             obs.instant("lan.drop", track="lan",
                         labels={"kind": message.kind,
                                 "sender": message.sender,
                                 "destination": message.destination,
-                                "reason": reason})
+                                "reason": cause})
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (f"<Lan nodes={len(self._nodes)} sent={self.sent_count} "

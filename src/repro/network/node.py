@@ -43,6 +43,11 @@ class Node:
         self.disk = Resource(sim, capacity=disks, name=f"{name}.disk")
         self.cpu_time_per_io = cpu_time_per_io
         self.cpu_time_per_network_op = cpu_time_per_network_op
+        #: Gray-failure baseline: :meth:`degrade_cpu` scales the two CPU-cost
+        #: attributes from these captured values, :meth:`restore_cpu` puts
+        #: them back.
+        self._base_cpu_time_per_io = cpu_time_per_io
+        self._base_cpu_time_per_network_op = cpu_time_per_network_op
         self.inbox = Store(sim, name=f"{name}.inbox")
         self._crashed = False
         self._processes: List[Process] = []
@@ -118,6 +123,26 @@ class Node:
     def charge_network_cpu(self):
         """Generator: charge the CPU cost of one network operation."""
         return self.cpu.use(self.cpu_time_per_network_op)
+
+    # -- gray failures ---------------------------------------------------------------
+    def degrade_cpu(self, factor: float) -> None:
+        """Multiply the per-operation CPU costs by ``factor``.
+
+        Models a slow-but-alive machine (thermal throttling, a noisy
+        neighbour): the node keeps answering, just late.  Costs are read at
+        use time, so ongoing workloads pick the change up immediately —
+        except the dispatcher loop, which caches its per-message charge at
+        start and applies a degradation on its next (re)start.
+        """
+        if factor < 1.0:
+            raise ValueError("a degradation factor must be >= 1")
+        self.cpu_time_per_io = self._base_cpu_time_per_io * factor
+        self.cpu_time_per_network_op = self._base_cpu_time_per_network_op * factor
+
+    def restore_cpu(self) -> None:
+        """End a :meth:`degrade_cpu` episode."""
+        self.cpu_time_per_io = self._base_cpu_time_per_io
+        self.cpu_time_per_network_op = self._base_cpu_time_per_network_op
 
     # -- crash / recovery ------------------------------------------------------------
     def add_listener(self, listener: NodeListener) -> None:

@@ -301,8 +301,16 @@ class PartitionedCluster:
             self.lan.delivered_count)
         lan("lan_messages", component="lan", kind="dropped").set(
             self.lan.dropped_count)
+        for cause, count in sorted(self.lan.dropped_by_cause.items()):
+            lan("lan_drops", component="lan", cause=cause).set(count)
         for partition_id, group in enumerate(self.groups):
             technique = self.techniques[partition_id]
+            if group.gcs is not None:
+                detector = group.gcs.failure_detector
+                registry.gauge("fd_suspicions", shard=partition_id,
+                               kind="suspect").set(detector.suspicion_count)
+                registry.gauge("fd_suspicions", shard=partition_id,
+                               kind="restore").set(detector.restore_count)
             for server in group.server_names():
                 database = group.database(server)
                 labels = dict(shard=partition_id, server=server,

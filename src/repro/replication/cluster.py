@@ -112,7 +112,10 @@ class ReplicatedDatabaseCluster:
                 delivery_cpu_time=self.params.cpu_time_per_network_op,
                 delivery_log_time=gcs_delivery_log_time,
                 detection_delay=self.params.failure_detection_delay,
-                engine=self.params.broadcast_engine)
+                engine=self.params.broadcast_engine,
+                detector_mode=self.params.failure_detector_mode,
+                heartbeat_period=self.params.heartbeat_period,
+                heartbeat_timeout=self.params.heartbeat_timeout)
             for name, node in self.nodes.items():
                 self._dispatchers[name] = self.gcs.dispatcher(name)
         else:

@@ -71,6 +71,17 @@ class SimulationParameters:
     lazy_propagation_write_factor: float = 0.45
     #: Failure-detection delay of the (perfect) failure detector (ms).
     failure_detection_delay: float = 1.0
+    #: Failure-detector mode: ``"perfect"`` (oracle-driven, the default) or
+    #: ``"heartbeat"`` (timeout-based, driven by real heartbeat traffic —
+    #: the only mode that can see network partitions).  Heartbeat mode adds
+    #: messages to the schedule, so runs are NOT bit-identical to the
+    #: default — it must stay off wherever a test pins a seeded trace.
+    failure_detector_mode: str = "perfect"
+    #: Heartbeat send interval of the heartbeat detector (ms).
+    heartbeat_period: float = 10.0
+    #: Silence threshold after which the heartbeat detector suspects a
+    #: member (ms); must be >= the period.
+    heartbeat_timeout: float = 50.0
     #: Total-order broadcast engine the group-based techniques run on, by
     #: registry name (see :mod:`repro.gcs.engines`).  The default is the
     #: seed's fixed-sequencer scheme; ``"multi-paxos"`` selects the

@@ -1,0 +1,17 @@
+"""Fixture: fault-injection code written the forbidden way.
+
+What `repro.network.faults` must never do: draw loss decisions from the
+process-global `random` module instead of an interned per-purpose stream,
+and stamp fault events with the wall clock instead of the simulated one.
+"""
+
+import random
+import time
+
+
+def should_drop(probability: float) -> bool:
+    return random.random() < probability
+
+
+def fault_installed_at() -> float:
+    return time.time()

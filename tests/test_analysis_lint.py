@@ -462,12 +462,14 @@ def test_repo_lints_clean_under_strict_layers():
 
 def test_fixture_tree_fails_with_one_finding_per_rule():
     # layer-contract carries a second, gcs-specific case: an upward
-    # dependency inside the decomposed broadcast stack.
+    # dependency inside the decomposed broadcast stack; wall-clock and
+    # unseeded-rng carry a second, fault-injection case (network/faults.py):
+    # an un-interned loss draw and a wall-clock fault timestamp.
     report = run_lint(FIXTURE_TREE, default_rules())
     counts = report.counts_by_rule()
     assert counts == {
-        "wall-clock": 1,
-        "unseeded-rng": 1,
+        "wall-clock": 2,
+        "unseeded-rng": 2,
         "ordering-hazard": 1,
         "slots-consistency": 1,
         "float-time-arith": 1,
@@ -488,12 +490,12 @@ def test_cli_exit_codes_and_json_artifact(tmp_path, capsys):
     assert code == 1
     payload = json.loads(output.read_text(encoding="utf-8"))
     assert payload["schema"] == "repro.analysis.lint/1"
-    assert payload["finding_count"] == 7
+    assert payload["finding_count"] == 9
     assert {finding["rule"] for finding in payload["findings"]} == {
         "wall-clock", "unseeded-rng", "ordering-hazard",
         "slots-consistency", "float-time-arith", "layer-contract"}
     # The failure is still announced on stderr when the report goes to a file.
-    assert "7 finding(s)" in capsys.readouterr().err
+    assert "9 finding(s)" in capsys.readouterr().err
 
 
 def test_cli_rule_filter_and_catalogue(capsys):
@@ -506,7 +508,7 @@ def test_cli_rule_filter_and_catalogue(capsys):
     code = lint_main(["--root", str(FIXTURE_TREE), "--rules", "wall-clock"])
     out = capsys.readouterr().out
     assert code == 1
-    assert "1 finding(s)" in out
+    assert "2 finding(s)" in out
 
     with pytest.raises(SystemExit):
         lint_main(["--rules", "no-such-rule"])
